@@ -1,0 +1,137 @@
+package distenc
+
+// One benchmark per table and figure of the paper's evaluation, plus the
+// design-choice ablations. Each runs the corresponding experiment driver at
+// the small (seconds-scale) profile; cmd/distenc-bench runs the full-scale
+// versions and EXPERIMENTS.md records their output against the paper.
+
+import (
+	"io"
+	"testing"
+
+	"distenc/internal/bench"
+)
+
+func smoke() bench.Profile { return bench.Profile{Small: true, Seed: 3} }
+
+// BenchmarkFig3aDimensionality regenerates Figure 3a: runtime and OOM
+// behaviour versus dimensionality for all five methods.
+func BenchmarkFig3aDimensionality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig3a(io.Discard, smoke())
+	}
+}
+
+// BenchmarkFig3bNonzeros regenerates Figure 3b: runtime versus non-zeros.
+func BenchmarkFig3bNonzeros(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig3b(io.Discard, smoke())
+	}
+}
+
+// BenchmarkFig3cRank regenerates Figure 3c: runtime versus rank.
+func BenchmarkFig3cRank(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig3c(io.Discard, smoke())
+	}
+}
+
+// BenchmarkFig4MachineScalability regenerates Figure 4: speedup T1/TM.
+func BenchmarkFig4MachineScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig4(io.Discard, smoke())
+	}
+}
+
+// BenchmarkFig5ReconstructionError regenerates Figure 5: relative error
+// versus missing rate.
+func BenchmarkFig5ReconstructionError(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig5(io.Discard, smoke())
+	}
+}
+
+// BenchmarkFig6aRecommenderRMSE regenerates Figure 6a: Netflix-sim and
+// Twitter-sim RMSE.
+func BenchmarkFig6aRecommenderRMSE(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig6a(io.Discard, smoke())
+	}
+}
+
+// BenchmarkFig6bConvergence regenerates Figure 6b: convergence traces.
+func BenchmarkFig6bConvergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig6b(io.Discard, smoke())
+	}
+}
+
+// BenchmarkFig7LinkPrediction regenerates Figure 7: Facebook-sim link
+// prediction.
+func BenchmarkFig7LinkPrediction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig7(io.Discard, smoke())
+	}
+}
+
+// BenchmarkTableIIDatasets regenerates the Table II dataset inventory.
+func BenchmarkTableIIDatasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.TableII(io.Discard, smoke())
+	}
+}
+
+// BenchmarkTableIIIConceptDiscovery regenerates Table III: concept discovery
+// on the DBLP stand-in.
+func BenchmarkTableIIIConceptDiscovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.TableIII(io.Discard, smoke())
+	}
+}
+
+// BenchmarkLemmaCounters checks the Lemma 1–3 accounting (measured time,
+// memory and shuffle bytes against the analytic terms).
+func BenchmarkLemmaCounters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Lemmas(io.Discard, smoke())
+	}
+}
+
+// BenchmarkAblations times the five §III design choices, optimized vs
+// naive (A1 trace-reg inverse, A2 residual tensor, A3 greedy partitioning,
+// A4 Gram caching, A5 multiply order).
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Ablations(io.Discard, smoke())
+	}
+}
+
+// BenchmarkCompleteSerial measures the optimized single-process solver.
+func BenchmarkCompleteSerial(b *testing.B) {
+	d := GenerateLinearFactor([]int{50, 50, 50}, 3, 10_000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Complete(d.Tensor, d.Sims, Options{Rank: 5, MaxIter: 5, Tol: 0, Seed: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompleteDistributed measures DisTenC end to end on a 4-machine
+// simulated cluster.
+func BenchmarkCompleteDistributed(b *testing.B) {
+	d := GenerateLinearFactor([]int{50, 50, 50}, 3, 10_000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := NewCluster(ClusterConfig{Machines: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := CompleteDistributed(c, d.Tensor, d.Sims, DistOptions{Options: Options{Rank: 5, MaxIter: 5, Tol: 0, Seed: 2}}); err != nil {
+			b.Fatal(err)
+		}
+		c.Close()
+	}
+}

@@ -1,0 +1,98 @@
+package distenc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary tensor format ("DTZ1"): a compact fixed-layout encoding for large
+// tensors where the COO text format is too slow to parse.
+//
+//	magic   [4]byte  "DTZ1"
+//	order   uint32
+//	dims    order × uint64
+//	nnz     uint64
+//	indices nnz × order × int32 (little endian)
+//	values  nnz × float64 (IEEE 754 bits, little endian)
+
+var dtzMagic = [4]byte{'D', 'T', 'Z', '1'}
+
+// WriteBinary writes t in the DTZ1 binary format.
+func WriteBinary(w io.Writer, t *Tensor) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(dtzMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(t.Order())); err != nil {
+		return err
+	}
+	for _, d := range t.Dims {
+		if err := binary.Write(bw, binary.LittleEndian, uint64(d)); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(t.NNZ())); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, t.Idx); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, t.Val); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the DTZ1 binary format and validates the result.
+func ReadBinary(r io.Reader) (*Tensor, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("distenc: reading magic: %w", err)
+	}
+	if magic != dtzMagic {
+		return nil, fmt.Errorf("distenc: bad magic %q, want %q", magic, dtzMagic)
+	}
+	var order uint32
+	if err := binary.Read(br, binary.LittleEndian, &order); err != nil {
+		return nil, err
+	}
+	if order == 0 || order > 16 {
+		return nil, fmt.Errorf("distenc: implausible tensor order %d", order)
+	}
+	dims := make([]int, order)
+	for i := range dims {
+		var d uint64
+		if err := binary.Read(br, binary.LittleEndian, &d); err != nil {
+			return nil, err
+		}
+		if d == 0 || d > math.MaxInt32 {
+			return nil, fmt.Errorf("distenc: implausible dimension %d", d)
+		}
+		dims[i] = int(d)
+	}
+	var nnz uint64
+	if err := binary.Read(br, binary.LittleEndian, &nnz); err != nil {
+		return nil, err
+	}
+	const maxNNZ = 1 << 33
+	if nnz > maxNNZ {
+		return nil, fmt.Errorf("distenc: implausible nnz %d", nnz)
+	}
+	t := NewTensor(dims...)
+	t.Idx = make([]int32, int(nnz)*int(order))
+	t.Val = make([]float64, nnz)
+	if err := binary.Read(br, binary.LittleEndian, t.Idx); err != nil {
+		return nil, fmt.Errorf("distenc: reading indices: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, t.Val); err != nil {
+		return nil, fmt.Errorf("distenc: reading values: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("distenc: binary tensor invalid: %w", err)
+	}
+	return t, nil
+}

@@ -1,0 +1,77 @@
+// Command distenc-bench runs the paper-reproduction experiment suite: one
+// driver per table and figure of the evaluation section (see DESIGN.md §4
+// for the experiment index and EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	distenc-bench                 # run everything at full scale
+//	distenc-bench -exp fig3a      # one experiment
+//	distenc-bench -small          # seconds-scale smoke profile
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"distenc/internal/bench"
+)
+
+var experiments = []struct {
+	name string
+	desc string
+	run  func(w io.Writer, p bench.Profile)
+}{
+	{"table2", "Table II dataset inventory", func(w io.Writer, p bench.Profile) { bench.TableII(w, p) }},
+	{"fig3a", "Figure 3a runtime vs dimensionality", func(w io.Writer, p bench.Profile) { bench.Fig3a(w, p) }},
+	{"fig3b", "Figure 3b runtime vs non-zeros", func(w io.Writer, p bench.Profile) { bench.Fig3b(w, p) }},
+	{"fig3c", "Figure 3c runtime vs rank", func(w io.Writer, p bench.Profile) { bench.Fig3c(w, p) }},
+	{"fig4", "Figure 4 machine scalability", func(w io.Writer, p bench.Profile) { bench.Fig4(w, p) }},
+	{"fig5", "Figure 5 reconstruction error", func(w io.Writer, p bench.Profile) { bench.Fig5(w, p) }},
+	{"fig6a", "Figure 6a recommender RMSE", func(w io.Writer, p bench.Profile) { bench.Fig6a(w, p) }},
+	{"fig6b", "Figure 6b convergence rate", func(w io.Writer, p bench.Profile) { bench.Fig6b(w, p) }},
+	{"fig7", "Figure 7 link prediction", func(w io.Writer, p bench.Profile) { bench.Fig7(w, p) }},
+	{"table3", "Table III concept discovery", func(w io.Writer, p bench.Profile) { bench.TableIII(w, p) }},
+	{"lemmas", "Lemmas 1–3 accounting", func(w io.Writer, p bench.Profile) { bench.Lemmas(w, p) }},
+	{"ablations", "§III design-choice ablations", func(w io.Writer, p bench.Profile) { bench.Ablations(w, p) }},
+}
+
+func main() {
+	log.SetFlags(0)
+	var (
+		exp      = flag.String("exp", "all", "experiment to run (all, "+names()+")")
+		small    = flag.Bool("small", false, "seconds-scale smoke profile")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		machines = flag.Int("machines", 4, "simulated machines for non-scalability experiments")
+	)
+	flag.Parse()
+
+	p := bench.Profile{Small: *small, Seed: *seed, Machines: *machines}
+	ran := 0
+	start := time.Now()
+	for _, e := range experiments {
+		if *exp != "all" && *exp != e.name {
+			continue
+		}
+		t0 := time.Now()
+		e.run(os.Stdout, p)
+		fmt.Printf("[%s done in %.1fs]\n", e.name, time.Since(t0).Seconds())
+		ran++
+	}
+	if ran == 0 {
+		log.Fatalf("unknown experiment %q (want all, %s)", *exp, names())
+	}
+	fmt.Printf("\nsuite finished: %d experiment(s) in %.1fs\n", ran, time.Since(start).Seconds())
+}
+
+func names() string {
+	var ns []string
+	for _, e := range experiments {
+		ns = append(ns, e.name)
+	}
+	return strings.Join(ns, ", ")
+}

@@ -1,0 +1,111 @@
+// Command distenc-gen writes the repository's synthetic workloads to COO
+// text files (plus similarity files when the dataset has auxiliary
+// information), so they can be fed to the distenc CLI or external tools.
+//
+// Usage:
+//
+//	distenc-gen -dataset netflix -out data/netflix
+//	distenc-gen -dataset scalability -dims 1000,1000,1000 -nnz 100000 -out data/scal
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"distenc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("distenc-gen: ")
+	var (
+		dataset = flag.String("dataset", "scalability", "scalability, linear, netflix, twitter, facebook, dblp")
+		out     = flag.String("out", "data", "output path prefix")
+		dims    = flag.String("dims", "1000,1000,1000", "mode sizes (scalability/linear)")
+		nnz     = flag.Int("nnz", 100_000, "number of observations")
+		rank    = flag.Int("rank", 10, "planted rank")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	var ds *distenc.Dataset
+	switch *dataset {
+	case "scalability":
+		t := distenc.GenerateScalability(parseDims(*dims), *nnz, *seed)
+		ds = &distenc.Dataset{Name: "scalability", Tensor: t}
+	case "linear":
+		ds = distenc.GenerateLinearFactor(parseDims(*dims), *rank, *nnz, *seed)
+	case "netflix":
+		ds = distenc.GenerateNetflix(distenc.RecsysConfig{
+			Users: 4800, Items: 1800, Contexts: 200, Rank: *rank, NNZ: *nnz, Noise: 0.25, Seed: *seed,
+		})
+	case "twitter":
+		ds = distenc.GenerateTwitter(distenc.RecsysConfig{
+			Users: 6400, Items: 6400, Contexts: 16, Rank: *rank, NNZ: *nnz, Noise: 0.15, Seed: *seed,
+		})
+	case "facebook":
+		ds = distenc.GenerateFacebook(distenc.LinkPredConfig{
+			Users: 6000, Days: 5, Rank: *rank, NNZ: *nnz, Noise: 0.1, Seed: *seed,
+		})
+	case "dblp":
+		ds = distenc.GenerateDBLP(distenc.DBLPConfig{
+			Authors: 3170, Papers: 3170, Venues: 629, Concepts: 10, Rank: *rank, NNZ: *nnz, Seed: *seed,
+		})
+	default:
+		log.Fatalf("unknown dataset %q", *dataset)
+	}
+
+	if dir := filepath.Dir(*out); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	cooPath := *out + ".coo"
+	f, err := os.Create(cooPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := distenc.WriteCOO(f, ds.Tensor); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s: dims=%v nnz=%d", cooPath, ds.Tensor.Dims, ds.Tensor.NNZ())
+
+	for mode, s := range ds.Sims {
+		if s == nil || s.NumEdges() == 0 {
+			continue
+		}
+		simPath := fmt.Sprintf("%s-mode%d.sim", *out, mode)
+		sf, err := os.Create(simPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := distenc.WriteSimilarity(sf, s); err != nil {
+			log.Fatal(err)
+		}
+		if err := sf.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s: %d nodes, %d edges", simPath, s.N, s.NumEdges())
+	}
+}
+
+func parseDims(s string) []int {
+	parts := strings.Split(s, ",")
+	dims := make([]int, len(parts))
+	for i, p := range parts {
+		d, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || d <= 0 {
+			log.Fatalf("bad dims %q", s)
+		}
+		dims[i] = d
+	}
+	return dims
+}

@@ -1,0 +1,210 @@
+// Command distenc completes a partially observed sparse tensor read from a
+// COO text file, optionally with per-mode similarity graphs, and writes the
+// learned factor matrices.
+//
+// Usage:
+//
+//	distenc -input ratings.coo -rank 10 -maxiter 50 -machines 4 \
+//	        -sim 1=movies.sim -output factors/
+//
+// Input format: a header "dims I1 I2 … IN", then one "i1 … iN value" line
+// per observation. Similarity files: "nodes N" then "i j weight" lines.
+// Output: one factors-modeK.txt per mode (rows of the I_k×R factor matrix),
+// from which any cell (i1,…,iN) is predicted as Σ_r Π_k A_k[i_k,r].
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"distenc"
+)
+
+type simFlags map[int]string
+
+func (s simFlags) String() string { return fmt.Sprint(map[int]string(s)) }
+
+func (s simFlags) Set(v string) error {
+	mode, path, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want MODE=FILE, got %q", v)
+	}
+	m, err := strconv.Atoi(mode)
+	if err != nil || m < 0 {
+		return fmt.Errorf("bad mode %q", mode)
+	}
+	s[m] = path
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("distenc: ")
+	var (
+		input    = flag.String("input", "", "COO tensor file (required)")
+		output   = flag.String("output", ".", "directory for factor matrices")
+		rank     = flag.Int("rank", 10, "CP rank R")
+		maxIter  = flag.Int("maxiter", 50, "maximum ADMM iterations")
+		tol      = flag.Float64("tol", 1e-4, "convergence tolerance")
+		lambda   = flag.Float64("lambda", 1e-2, "ℓ2 regularization λ")
+		alpha    = flag.Float64("alpha", 1e-1, "auxiliary-information weight α")
+		truncK   = flag.Int("trunck", 0, "Laplacian eigen truncation K (0 = exact)")
+		seed     = flag.Uint64("seed", 1, "factor initialization seed")
+		machines = flag.Int("machines", 4, "simulated machines (0 = serial solver)")
+		verbose  = flag.Bool("v", false, "print per-iteration progress")
+		nonneg   = flag.Bool("nonneg", false, "enforce the non-negativity constraint")
+		predict  = flag.String("predict", "", "after training, predict the cells listed in this file (one \"i1 i2 … iN\" line each; \"-\" for stdin)")
+	)
+	sims := simFlags{}
+	flag.Var(sims, "sim", "per-mode similarity file as MODE=FILE (repeatable)")
+	flag.Parse()
+
+	if *input == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t, err := distenc.ReadCOO(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("loaded tensor dims=%v nnz=%d", t.Dims, t.NNZ())
+
+	var similarities []*distenc.Similarity
+	if len(sims) > 0 {
+		similarities = make([]*distenc.Similarity, t.Order())
+		for mode, path := range sims {
+			if mode >= t.Order() {
+				log.Fatalf("similarity mode %d out of range for order-%d tensor", mode, t.Order())
+			}
+			sf, err := os.Open(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			s, err := distenc.ReadSimilarity(sf)
+			sf.Close()
+			if err != nil {
+				log.Fatalf("%s: %v", path, err)
+			}
+			if s.N != t.Dims[mode] {
+				log.Fatalf("%s: %d nodes but mode %d has size %d", path, s.N, mode, t.Dims[mode])
+			}
+			similarities[mode] = s
+			log.Printf("mode %d similarity: %d nodes, %d edges", mode, s.N, s.NumEdges())
+		}
+	}
+
+	opt := distenc.Options{
+		Rank: *rank, MaxIter: *maxIter, Tol: *tol,
+		Lambda: *lambda, Alpha: *alpha, TruncK: *truncK, Seed: *seed,
+		NonNegative: *nonneg,
+	}
+	if *verbose {
+		opt.OnIteration = func(p distenc.ConvergencePoint) {
+			log.Printf("iter %3d: train RMSE %.6f, delta %.3g, %.2fs",
+				p.Iter, p.TrainRMSE, p.MaxDelta, p.Elapsed.Seconds())
+		}
+	}
+
+	var res *distenc.Result
+	if *machines <= 0 {
+		res, err = distenc.Complete(t, similarities, opt)
+	} else {
+		var c *distenc.Cluster
+		c, err = distenc.NewCluster(distenc.ClusterConfig{Machines: *machines})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer c.Close()
+		res, err = distenc.CompleteDistributed(c, t, similarities, distenc.DistOptions{Options: opt})
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	final, _ := res.Trace.Final()
+	log.Printf("finished: %d iterations, converged=%v, train RMSE %.6f, %.2fs",
+		res.Iters, res.Converged, final.TrainRMSE, res.Elapsed.Seconds())
+	if *verbose {
+		fmt.Print(res.Trace)
+	}
+
+	if err := os.MkdirAll(*output, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for n, fmat := range res.Model.Factors {
+		path := filepath.Join(*output, fmt.Sprintf("factors-mode%d.txt", n))
+		out, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < fmat.Rows(); i++ {
+			row := fmat.Row(i)
+			for j, v := range row {
+				if j > 0 {
+					fmt.Fprint(out, " ")
+				}
+				fmt.Fprintf(out, "%g", v)
+			}
+			fmt.Fprintln(out)
+		}
+		if err := out.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s (%d×%d)", path, fmat.Rows(), fmat.Cols())
+	}
+
+	if *predict != "" {
+		if err := predictCells(*predict, t.Order(), t.Dims, res); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// predictCells reads one multi-index per line and prints the model's
+// prediction for each cell.
+func predictCells(path string, order int, dims []int, res *distenc.Result) error {
+	var in *os.File
+	if path == "-" {
+		in = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	sc := bufio.NewScanner(in)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != order {
+			return fmt.Errorf("predict line %d: want %d indices, got %d", line, order, len(fields))
+		}
+		idx := make([]int32, order)
+		for i, f := range fields {
+			v, err := strconv.Atoi(f)
+			if err != nil || v < 0 || v >= dims[i] {
+				return fmt.Errorf("predict line %d: bad index %q for mode %d", line, f, i)
+			}
+			idx[i] = int32(v)
+		}
+		fmt.Printf("%s %g\n", text, res.Model.At(idx))
+	}
+	return sc.Err()
+}

@@ -1,0 +1,79 @@
+package distenc
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"distenc/internal/metrics"
+	"distenc/internal/sptensor"
+)
+
+// CVResult reports cross-validated quality for one candidate rank.
+type CVResult struct {
+	Rank     int
+	MeanRMSE float64
+	StdRMSE  float64
+}
+
+// CrossValidateRank k-fold cross-validates the serial solver over the
+// candidate ranks and returns per-rank scores plus the rank with the lowest
+// mean held-out RMSE — the standard way to pick R, which the paper treats as
+// a given input. opt.Rank is overridden per candidate.
+func CrossValidateRank(t *Tensor, sims []*Similarity, opt Options, ranks []int, folds int, seed uint64) ([]CVResult, int, error) {
+	if folds < 2 {
+		return nil, 0, fmt.Errorf("distenc: need at least 2 folds, got %d", folds)
+	}
+	if len(ranks) == 0 {
+		return nil, 0, fmt.Errorf("distenc: no candidate ranks")
+	}
+	if t.NNZ() < folds {
+		return nil, 0, fmt.Errorf("distenc: %d observations cannot form %d folds", t.NNZ(), folds)
+	}
+	assignments := foldAssignments(t.NNZ(), folds, seed)
+
+	results := make([]CVResult, 0, len(ranks))
+	bestRank, bestScore := 0, 0.0
+	for _, r := range ranks {
+		var scores []float64
+		for f := 0; f < folds; f++ {
+			train, test := foldSplit(t, assignments, f)
+			o := opt
+			o.Rank = r
+			res, err := Complete(train, sims, o)
+			if err != nil {
+				return nil, 0, fmt.Errorf("distenc: rank %d fold %d: %w", r, f, err)
+			}
+			scores = append(scores, metrics.RMSE(test, res.Model))
+		}
+		mean, std := metrics.MeanStd(scores)
+		results = append(results, CVResult{Rank: r, MeanRMSE: mean, StdRMSE: std})
+		if bestRank == 0 || mean < bestScore {
+			bestRank, bestScore = r, mean
+		}
+	}
+	return results, bestRank, nil
+}
+
+// foldAssignments deals every entry into one of `folds` buckets uniformly.
+func foldAssignments(nnz, folds int, seed uint64) []uint8 {
+	rng := rand.New(rand.NewPCG(seed, 0xf01d5))
+	out := make([]uint8, nnz)
+	for i := range out {
+		out[i] = uint8(rng.IntN(folds))
+	}
+	return out
+}
+
+// foldSplit returns train (all entries outside fold f) and test (fold f).
+func foldSplit(t *Tensor, assignments []uint8, f int) (train, test *Tensor) {
+	train = sptensor.New(t.Dims...)
+	test = sptensor.New(t.Dims...)
+	for e := 0; e < t.NNZ(); e++ {
+		if int(assignments[e]) == f {
+			test.Append(t.Index(e), t.Val[e])
+		} else {
+			train.Append(t.Index(e), t.Val[e])
+		}
+	}
+	return train, test
+}

@@ -1,0 +1,64 @@
+package distenc
+
+import (
+	"testing"
+)
+
+func TestCrossValidateRankPicksReasonableRank(t *testing.T) {
+	// Planted rank 3: cross-validation should not pick a wildly larger rank
+	// and must score every candidate.
+	d := GenerateLinearFactor([]int{20, 20, 20}, 3, 3_000, 41)
+	results, best, err := CrossValidateRank(d.Tensor, d.Sims,
+		Options{MaxIter: 20, Seed: 42}, []int{1, 3, 8}, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %v", results)
+	}
+	scores := map[int]float64{}
+	for _, r := range results {
+		if r.MeanRMSE < 0 {
+			t.Fatalf("negative RMSE: %+v", r)
+		}
+		scores[r.Rank] = r.MeanRMSE
+	}
+	// Rank 1 underfits a rank-3 truth; the winner must beat it.
+	if scores[best] > scores[1] {
+		t.Fatalf("best rank %d (%.4f) worse than rank 1 (%.4f)", best, scores[best], scores[1])
+	}
+}
+
+func TestCrossValidateRankValidation(t *testing.T) {
+	d := GenerateLinearFactor([]int{10, 10, 10}, 2, 300, 43)
+	if _, _, err := CrossValidateRank(d.Tensor, nil, Options{}, []int{2}, 1, 1); err == nil {
+		t.Fatal("folds < 2 must fail")
+	}
+	if _, _, err := CrossValidateRank(d.Tensor, nil, Options{}, nil, 3, 1); err == nil {
+		t.Fatal("no ranks must fail")
+	}
+	tiny := NewTensor(5, 5)
+	tiny.Append([]int32{0, 0}, 1)
+	if _, _, err := CrossValidateRank(tiny, nil, Options{}, []int{2}, 3, 1); err == nil {
+		t.Fatal("too few observations must fail")
+	}
+}
+
+func TestFoldSplitPartitions(t *testing.T) {
+	ts := NewTensor(10, 10)
+	for i := int32(0); i < 10; i++ {
+		ts.Append([]int32{i, i}, float64(i))
+	}
+	assign := foldAssignments(ts.NNZ(), 3, 5)
+	total := 0
+	for f := 0; f < 3; f++ {
+		train, test := foldSplit(ts, assign, f)
+		if train.NNZ()+test.NNZ() != ts.NNZ() {
+			t.Fatal("fold split lost entries")
+		}
+		total += test.NNZ()
+	}
+	if total != ts.NNZ() {
+		t.Fatalf("folds cover %d entries, want %d", total, ts.NNZ())
+	}
+}

@@ -1,0 +1,167 @@
+package distenc
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFacadeCompleteRoundTrip(t *testing.T) {
+	d := GenerateLinearFactor([]int{20, 20, 20}, 3, 2000, 1)
+	rng := rand.New(rand.NewPCG(2, 2))
+	train, test := d.Tensor.Split(0.3, rng)
+	res, err := Complete(train, d.Sims, Options{Rank: 4, MaxIter: 30, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := RelativeError(test, res.Model); re > 0.25 {
+		t.Fatalf("relative error %v", re)
+	}
+	if RMSE(test, res.Model) <= 0 {
+		t.Fatal("RMSE should be positive on noisy held-out data")
+	}
+}
+
+func TestFacadeDistributed(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{Machines: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	d := GenerateLinearFactor([]int{15, 15, 15}, 2, 1000, 4)
+	res, err := CompleteDistributed(c, d.Tensor, d.Sims, DistOptions{Options: Options{Rank: 3, MaxIter: 5, Seed: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters == 0 {
+		t.Fatal("no iterations ran")
+	}
+}
+
+func TestCOORoundTrip(t *testing.T) {
+	ts := NewTensor(4, 5, 6)
+	ts.Append([]int32{1, 2, 3}, 2.5)
+	ts.Append([]int32{0, 0, 0}, -1.25)
+	var buf bytes.Buffer
+	if err := WriteCOO(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCOO(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NNZ() != 2 || back.Dims[2] != 6 {
+		t.Fatalf("round trip mangled: %v", back)
+	}
+	if back.Val[0] != 2.5 || back.Val[1] != -1.25 {
+		t.Fatalf("values = %v", back.Val)
+	}
+}
+
+func TestReadCOOErrors(t *testing.T) {
+	cases := []string{
+		"",                          // empty
+		"1 2 3 4\n",                 // missing header
+		"dims 0 3\n",                // bad dim
+		"dims 3 3\n1 2\n",           // short entry
+		"dims 3 3\n5 0 1.0\n",       // index out of range
+		"dims 3 3\n1 1 notanum\n",   // bad value
+		"dims 3 3\n# only comment1", // header then nothing is fine? no entries is fine
+	}
+	for i, c := range cases[:6] {
+		if _, err := ReadCOO(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d: expected error for %q", i, c)
+		}
+	}
+	// Comments and blank lines are fine.
+	ok := "# comment\n\ndims 2 2\n0 1 3.5\n"
+	ts, err := ReadCOO(strings.NewReader(ok))
+	if err != nil || ts.NNZ() != 1 {
+		t.Fatalf("comment case failed: %v %v", ts, err)
+	}
+}
+
+func TestSimilarityRoundTrip(t *testing.T) {
+	s := NewSimilarity(5)
+	s.AddEdge(0, 1, 1)
+	s.AddEdge(3, 4, 2.5)
+	var buf bytes.Buffer
+	if err := WriteSimilarity(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSimilarity(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != 5 || back.NumEdges() != 2 {
+		t.Fatalf("round trip mangled: %+v", back)
+	}
+}
+
+func TestReadSimilarityErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"0 1 1\n",
+		"nodes x\n",
+		"nodes 3\n0 1\n",
+		"nodes 3\n0 9 1\n",
+		"nodes 3\n1 1 1\n",
+		"nodes 3\na b c\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadSimilarity(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d: expected error for %q", i, c)
+		}
+	}
+}
+
+func TestTriDiagonalSimilarityFacade(t *testing.T) {
+	s := TriDiagonalSimilarity(4)
+	if s.NumEdges() != 3 {
+		t.Fatalf("edges = %d", s.NumEdges())
+	}
+}
+
+func TestGeneratorsExposed(t *testing.T) {
+	if ts := GenerateScalability([]int{10, 10, 10}, 50, 1); ts.NNZ() == 0 {
+		t.Fatal("scalability generator empty")
+	}
+	if d := GenerateNetflix(RecsysConfig{Users: 20, Items: 20, Contexts: 4, Rank: 2, NNZ: 100, Seed: 1}); d.Tensor.NNZ() == 0 {
+		t.Fatal("netflix generator empty")
+	}
+	if d := GenerateFacebook(LinkPredConfig{Users: 20, Days: 3, Rank: 2, NNZ: 100, Seed: 1}); d.Tensor.NNZ() == 0 {
+		t.Fatal("facebook generator empty")
+	}
+	if d := GenerateDBLP(DBLPConfig{Authors: 20, Papers: 20, Venues: 8, Concepts: 2, Rank: 2, NNZ: 100, Seed: 1}); d.Tensor.NNZ() == 0 {
+		t.Fatal("dblp generator empty")
+	}
+	if d := GenerateTwitter(RecsysConfig{Users: 20, Items: 20, Contexts: 4, Rank: 2, NNZ: 100, Seed: 1}); d.Tensor.NNZ() == 0 {
+		t.Fatal("twitter generator empty")
+	}
+}
+
+// Property: COO text round trip preserves every entry exactly.
+func TestCOORoundTripProperty(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		ts := GenerateScalability([]int{4 + int(n%9), 6, 8}, 1+int(n%50), seed)
+		var buf bytes.Buffer
+		if WriteCOO(&buf, ts) != nil {
+			return false
+		}
+		back, err := ReadCOO(&buf)
+		if err != nil || back.NNZ() != ts.NNZ() {
+			return false
+		}
+		for e := 0; e < ts.NNZ(); e++ {
+			if back.Val[e] != ts.Val[e] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

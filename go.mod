@@ -1,0 +1,3 @@
+module distenc
+
+go 1.24

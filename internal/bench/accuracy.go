@@ -1,0 +1,330 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"sort"
+
+	"distenc/internal/core"
+	"distenc/internal/metrics"
+	"distenc/internal/synth"
+)
+
+// Fig5 reproduces Figure 5: relative reconstruction error on the
+// linear-factor synthetic (tri-diagonal similarity, Eq. 17) at missing rates
+// 30/50/70%. Auxiliary-information methods (DisTenC, TFAI) should win, with
+// the gap growing as data gets scarcer; results average over `runs` seeds as
+// the paper averages over 5.
+func Fig5(w io.Writer, p Profile) map[Method][]float64 {
+	p = p.withDefaults()
+	dim, rank, fitRank, pool, iters, runs := 100, 20, 10, 25_000, 100, 3
+	if p.Small {
+		dim, pool, iters, runs = 40, 6_000, 30, 2
+	}
+	missing := []float64{0.3, 0.5, 0.7}
+	header(w, "Figure 5 — reconstruction error vs missing rate",
+		"DisTenC ≈ TFAI best; SCouT next; ALS and FlexiFact worst; gaps widen with missing rate")
+	fmt.Fprintf(w, "%-10s", "missing")
+	for _, m := range AllMethods {
+		fmt.Fprintf(w, "%14s", m)
+	}
+	fmt.Fprintln(w)
+
+	errs := map[Method][]float64{}
+	for _, miss := range missing {
+		sums := map[Method]float64{}
+		for run := 0; run < runs; run++ {
+			d := synth.LinearFactorDataset([]int{dim, dim, dim}, rank, pool, p.Seed+uint64(run))
+			rng := rand.New(rand.NewPCG(p.Seed+uint64(run), 77))
+			train, test := d.Tensor.Split(miss, rng)
+			opt := core.Options{Rank: fitRank, MaxIter: iters, Tol: 1e-9, Seed: p.Seed + uint64(run), Alpha: 1}
+			for _, m := range AllMethods {
+				o := runMethod(p, m, p.Machines, train, d.Sims, opt, false)
+				if o.Status != StatusOK {
+					sums[m] += 1 // count failures as full error
+					continue
+				}
+				sums[m] += metrics.RelativeError(test, o.Result.Model)
+			}
+		}
+		fmt.Fprintf(w, "%-10.0f%%", miss*100)
+		for _, m := range AllMethods {
+			avg := sums[m] / float64(runs)
+			errs[m] = append(errs[m], avg)
+			fmt.Fprintf(w, "%14.4f", avg)
+		}
+		fmt.Fprintln(w)
+	}
+	return errs
+}
+
+// Fig6a reproduces Figure 6a: held-out RMSE on the Netflix and Twitter-list
+// stand-ins for ALS, SCouT and DisTenC with a 50/50 split, averaged over
+// `runs` seeds.
+func Fig6a(w io.Writer, p Profile) map[string]map[Method]float64 {
+	p = p.withDefaults()
+	runs, iters := 3, 100
+	netCfg := synth.RecsysConfig{Users: 600, Items: 240, Contexts: 12, Rank: 6, NNZ: 25_000, Noise: 0.35, Seed: p.Seed}
+	twCfg := synth.RecsysConfig{Users: 400, Items: 400, Contexts: 16, Rank: 6, NNZ: 20_000, Noise: 0.15, Seed: p.Seed}
+	if p.Small {
+		runs, iters = 2, 100
+		netCfg = synth.RecsysConfig{Users: 300, Items: 150, Contexts: 10, Rank: 5, NNZ: 15_000, Noise: 0.25, Seed: p.Seed}
+		twCfg = synth.RecsysConfig{Users: 200, Items: 200, Contexts: 16, Rank: 5, NNZ: 10_000, Noise: 0.15, Seed: p.Seed}
+	}
+	header(w, "Figure 6a — recommender RMSE (Netflix-sim, Twitter-sim)",
+		"DisTenC best; auxiliary-info methods beat ALS; ~15–21% average improvement")
+	methods := []Method{MethodALS, MethodSCouT, MethodDisTenC}
+	out := map[string]map[Method]float64{}
+
+	for _, ds := range []struct {
+		name string
+		gen  func(seed uint64) *synth.Dataset
+	}{
+		{"netflix-sim", func(s uint64) *synth.Dataset { c := netCfg; c.Seed = s; return synth.NetflixSim(c) }},
+		{"twitter-sim", func(s uint64) *synth.Dataset { c := twCfg; c.Seed = s; return synth.TwitterSim(c) }},
+	} {
+		sums := map[Method]float64{}
+		for run := 0; run < runs; run++ {
+			d := ds.gen(p.Seed + uint64(run))
+			rng := rand.New(rand.NewPCG(p.Seed+uint64(run), 99))
+			train, test := d.Tensor.Split(0.5, rng)
+			opt := core.Options{Rank: 6, MaxIter: iters, Tol: 1e-9, Seed: p.Seed + uint64(run), Alpha: 5}
+			if p.Small {
+				opt.Rank = 5
+			}
+			for _, m := range methods {
+				o := runMethod(p, m, p.Machines, train, d.Sims, opt, false)
+				if o.Status != StatusOK {
+					sums[m] += 10
+					continue
+				}
+				sums[m] += metrics.RMSE(test, o.Result.Model)
+			}
+		}
+		out[ds.name] = map[Method]float64{}
+		fmt.Fprintf(w, "%-14s", ds.name)
+		for _, m := range methods {
+			avg := sums[m] / float64(runs)
+			out[ds.name][m] = avg
+			fmt.Fprintf(w, "  %s=%.4f", m, avg)
+		}
+		base := out[ds.name][MethodALS]
+		fmt.Fprintf(w, "  (DisTenC improvement over ALS: %.1f%%)\n",
+			metrics.Improvement(base, out[ds.name][MethodDisTenC]))
+	}
+	return out
+}
+
+// Fig6b reproduces Figure 6b: training-RMSE-versus-time convergence traces
+// on the Netflix stand-in. DisTenC should reach low error fastest; SCouT,
+// paying MapReduce disk costs, slowest.
+func Fig6b(w io.Writer, p Profile) map[Method]metrics.Trace {
+	p = p.withDefaults()
+	cfg := synth.RecsysConfig{Users: 600, Items: 240, Contexts: 12, Rank: 6, NNZ: 25_000, Noise: 0.35, Seed: p.Seed}
+	iters := 100
+	if p.Small {
+		cfg = synth.RecsysConfig{Users: 300, Items: 150, Contexts: 10, Rank: 5, NNZ: 15_000, Noise: 0.25, Seed: p.Seed}
+		iters = 60
+	}
+	header(w, "Figure 6b — convergence rate on Netflix-sim",
+		"DisTenC converges fastest to the best solution; SCouT takes much longer (MapReduce)")
+	d := synth.NetflixSim(cfg)
+	rng := rand.New(rand.NewPCG(p.Seed, 101))
+	train, _ := d.Tensor.Split(0.5, rng)
+	opt := core.Options{Rank: cfg.Rank, MaxIter: iters, Tol: 0, Seed: p.Seed, Alpha: 5}
+	methods := []Method{MethodALS, MethodSCouT, MethodDisTenC}
+	traces := map[Method]metrics.Trace{}
+	for _, m := range methods {
+		o := runMethod(p, m, p.Machines, train, d.Sims, opt, false)
+		if o.Status != StatusOK {
+			fmt.Fprintf(w, "%s: %s\n", m, o.Status)
+			continue
+		}
+		traces[m] = o.Result.Trace
+		final, _ := o.Result.Trace.Final()
+		fmt.Fprintf(w, "%-10s final train RMSE %.4f after %.2fs (%d iters)\n",
+			m, final.TrainRMSE, final.Elapsed.Seconds(), len(o.Result.Trace))
+		for _, pt := range o.Result.Trace {
+			fmt.Fprintf(w, "  t=%7.3fs rmse=%.4f\n", pt.Elapsed.Seconds(), pt.TrainRMSE)
+		}
+	}
+	return traces
+}
+
+// Fig7 reproduces Figure 7: link prediction on the Facebook stand-in — RMSE
+// bars plus convergence traces for ALS, SCouT and DisTenC.
+func Fig7(w io.Writer, p Profile) map[Method]float64 {
+	p = p.withDefaults()
+	cfg := synth.LinkPredConfig{Users: 500, Days: 8, Rank: 6, NNZ: 30_000, Noise: 0.1, Seed: p.Seed}
+	iters, runs := 100, 3
+	if p.Small {
+		cfg = synth.LinkPredConfig{Users: 250, Days: 5, Rank: 5, NNZ: 12_000, Noise: 0.1, Seed: p.Seed}
+		iters, runs = 25, 2
+	}
+	header(w, "Figure 7 — link prediction on Facebook-sim",
+		"DisTenC and SCouT comparable, both beat ALS (~27% and ~19%); DisTenC converges fastest")
+	methods := []Method{MethodALS, MethodSCouT, MethodDisTenC}
+	sums := map[Method]float64{}
+	for run := 0; run < runs; run++ {
+		c := cfg
+		c.Seed = p.Seed + uint64(run)
+		d := synth.FacebookSim(c)
+		rng := rand.New(rand.NewPCG(c.Seed, 103))
+		train, test := d.Tensor.Split(0.5, rng)
+		opt := core.Options{Rank: cfg.Rank, MaxIter: iters, Tol: 1e-9, Seed: c.Seed, Alpha: 5}
+		for _, m := range methods {
+			o := runMethod(p, m, p.Machines, train, d.Sims, opt, false)
+			if o.Status != StatusOK {
+				sums[m] += 10
+				continue
+			}
+			sums[m] += metrics.RMSE(test, o.Result.Model)
+		}
+	}
+	out := map[Method]float64{}
+	for _, m := range methods {
+		out[m] = sums[m] / float64(runs)
+		fmt.Fprintf(w, "%-10s RMSE %.4f\n", m, out[m])
+	}
+	fmt.Fprintf(w, "DisTenC improvement over ALS: %.1f%%; SCouT over ALS: %.1f%%\n",
+		metrics.Improvement(out[MethodALS], out[MethodDisTenC]),
+		metrics.Improvement(out[MethodALS], out[MethodSCouT]))
+	return out
+}
+
+// TableII prints the dataset inventory (the scaled stand-ins of Table II).
+func TableII(w io.Writer, p Profile) []*synth.Dataset {
+	p = p.withDefaults()
+	header(w, "Table II — datasets", "the ~100×-scaled stand-ins described in DESIGN.md §2")
+	sets := []*synth.Dataset{
+		synth.NetflixSim(synth.RecsysConfig{Users: 4_800, Items: 1_800, Contexts: 200, Rank: 8, NNZ: 1_000_000, Noise: 0.25, Seed: p.Seed}),
+		synth.FacebookSim(synth.LinkPredConfig{Users: 6_000, Days: 5, Rank: 8, NNZ: 155_000, Noise: 0.1, Seed: p.Seed}),
+		synth.DBLPSim(synth.DBLPConfig{Authors: 3_170, Papers: 3_170, Venues: 629, Concepts: 10, Rank: 8, NNZ: 104_000, Seed: p.Seed}),
+		synth.TwitterSim(synth.RecsysConfig{Users: 6_400, Items: 6_400, Contexts: 16, Rank: 8, NNZ: 113_000, Noise: 0.15, Seed: p.Seed}),
+	}
+	if p.Small {
+		sets = []*synth.Dataset{
+			synth.NetflixSim(synth.RecsysConfig{Users: 480, Items: 180, Contexts: 20, Rank: 5, NNZ: 10_000, Noise: 0.25, Seed: p.Seed}),
+			synth.FacebookSim(synth.LinkPredConfig{Users: 600, Days: 5, Rank: 5, NNZ: 15_500, Noise: 0.1, Seed: p.Seed}),
+			synth.DBLPSim(synth.DBLPConfig{Authors: 317, Papers: 317, Venues: 63, Concepts: 5, Rank: 5, NNZ: 10_400, Seed: p.Seed}),
+			synth.TwitterSim(synth.RecsysConfig{Users: 640, Items: 640, Contexts: 16, Rank: 5, NNZ: 11_300, Noise: 0.15, Seed: p.Seed}),
+		}
+	}
+	for _, d := range sets {
+		fmt.Fprintf(w, "  %s\n", d)
+	}
+	return sets
+}
+
+// ConceptRow is one row of the Table III reproduction.
+type ConceptRow struct {
+	Component    int
+	TopAuthors   []int
+	TopVenues    []int
+	AuthorPurity float64
+	VenuePurity  float64
+}
+
+// TableIII reproduces the concept-discovery experiment (§IV-G): factorize
+// the DBLP stand-in with author-author similarity, take the top-k entries of
+// each component's author and venue factors, and measure how pure each
+// component is with respect to the planted concepts. High purity is the
+// analogue of the paper's "all conferences within a concept are correlated".
+func TableIII(w io.Writer, p Profile) []ConceptRow {
+	p = p.withDefaults()
+	cfg := synth.DBLPConfig{Authors: 360, Papers: 480, Venues: 80, Concepts: 4, Rank: 4, NNZ: 16_000, Seed: p.Seed}
+	iters, topK := 400, 8
+	if p.Small {
+		cfg = synth.DBLPConfig{Authors: 180, Papers: 240, Venues: 40, Concepts: 4, Rank: 4, NNZ: 8_000, Seed: p.Seed}
+		iters, topK = 120, 5
+	}
+	header(w, "Table III — concept discovery on DBLP-sim",
+		"each factor component concentrates on one planted concept (high purity)")
+	d := synth.DBLPSim(cfg)
+	rng := rand.New(rand.NewPCG(p.Seed, 105))
+	train, _ := d.Tensor.Split(0.5, rng)
+	// InitScale is pinned to 1: the mean-matched scaling that accelerates
+	// the rating/link experiments blurs component separation on 0/1 count
+	// data, where the unscaled U(0,1) init already has the right magnitude.
+	o := runMethod(p, MethodDisTenC, p.Machines, train, d.Sims, core.Options{
+		Rank: cfg.Rank, MaxIter: iters, Tol: 1e-12, Seed: p.Seed, Alpha: 2, InitScale: 1,
+	}, false)
+	if o.Status != StatusOK {
+		fmt.Fprintf(w, "DisTenC failed: %s\n", o.Status)
+		return nil
+	}
+	authorConcepts, venueConcepts := d.Concepts[0], d.Concepts[2]
+	var rows []ConceptRow
+	for r := 0; r < cfg.Rank; r++ {
+		ta := topIndices(o.Result.Model.Factors[0], r, topK)
+		tv := topIndices(o.Result.Model.Factors[2], r, topK)
+		row := ConceptRow{
+			Component:    r,
+			TopAuthors:   ta,
+			TopVenues:    tv,
+			AuthorPurity: purity(ta, authorConcepts),
+			VenuePurity:  purity(tv, venueConcepts),
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "component %d: author purity %.2f, venue purity %.2f (top authors %v; top venues %v)\n",
+			r, row.AuthorPurity, row.VenuePurity, ta, tv)
+	}
+	return rows
+}
+
+// topIndices returns the k row indices scoring highest in factor column r by
+// contrast — the value in component r minus the row's mean value in the other
+// components. This is the paper's "filtering too general elements": rows that
+// load equally on every component (generic authors/venues) are suppressed, so
+// the top-k reflects what is specific to the concept.
+func topIndices(f interface {
+	Rows() int
+	Cols() int
+	At(i, j int) float64
+}, r, k int) []int {
+	type iv struct {
+		i int
+		v float64
+	}
+	rank := f.Cols()
+	all := make([]iv, f.Rows())
+	for i := range all {
+		var rest float64
+		for j := 0; j < rank; j++ {
+			if j != r {
+				rest += f.At(i, j)
+			}
+		}
+		score := f.At(i, r)
+		if rank > 1 {
+			score -= rest / float64(rank-1)
+		}
+		all[i] = iv{i, score}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].v > all[b].v })
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].i
+	}
+	return out
+}
+
+// purity is the fraction of indices sharing the most common planted concept.
+func purity(idx []int, concepts []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	counts := map[int]int{}
+	best := 0
+	for _, i := range idx {
+		counts[concepts[i]]++
+		if counts[concepts[i]] > best {
+			best = counts[concepts[i]]
+		}
+	}
+	return float64(best) / float64(len(idx))
+}

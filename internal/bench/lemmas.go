@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"distenc/internal/core"
+	"distenc/internal/sptensor"
+	"distenc/internal/synth"
+)
+
+// LemmaRow records measured engine counters against the analytic terms of
+// the paper's Lemmas 1–3 for one DisTenC run.
+type LemmaRow struct {
+	Dim, NNZ, Rank, Machines, Iters int
+	// Measured quantities.
+	Seconds       float64
+	PeakMemory    int64
+	BytesShuffled int64
+	// Analytic terms (up to constants).
+	FlopBound    int64 // Lemma 1's dominant O(T·N·R·nnz) term
+	MemoryBound  int64 // Lemma 2's O(nnz + 3NIR) dominant terms (bytes)
+	ShuffleBound int64 // Lemma 3's O(nnz + T·N·M·I·R) terms (bytes)
+}
+
+// Lemmas runs DisTenC across a small sweep and reports measured
+// time/memory/shuffle next to the corresponding Lemma bounds. The check is
+// that measured quantities grow with (and stay within a constant factor of a
+// linear fit to) the analytic terms.
+func Lemmas(w io.Writer, p Profile) []LemmaRow {
+	p = p.withDefaults()
+	type cfg struct{ dim, nnz, rank, machines int }
+	sweeps := []cfg{
+		{2_000, 20_000, 10, 4},
+		{4_000, 40_000, 10, 4},
+		{4_000, 40_000, 20, 4},
+		{4_000, 40_000, 10, 8},
+	}
+	if p.Small {
+		sweeps = []cfg{
+			{500, 5_000, 5, 2},
+			{1_000, 10_000, 5, 2},
+			{1_000, 10_000, 10, 4},
+		}
+	}
+	const iters = 3
+	header(w, "Lemmas 1–3 — measured vs analytic accounting",
+		"measured time, peak memory and shuffled bytes track the lemma terms across the sweep")
+	fmt.Fprintf(w, "%-8s %-8s %-5s %-4s | %10s %12s %12s | %12s %12s %12s\n",
+		"dim", "nnz", "R", "M", "seconds", "peakMemB", "shuffledB", "flopBound", "memBound", "shufBound")
+
+	var rows []LemmaRow
+	for _, s := range sweeps {
+		t := synth.ScalabilityTensor([]int{s.dim, s.dim, s.dim}, s.nnz, p.Seed)
+		o := runMethod(p, MethodDisTenC, s.machines, t, nil,
+			core.Options{Rank: s.rank, MaxIter: iters, Tol: 0, Seed: p.Seed}, false)
+		if o.Status != StatusOK {
+			fmt.Fprintf(w, "%-8d %-8d %-5d %-4d %s\n", s.dim, s.nnz, s.rank, s.machines, o.Status)
+			continue
+		}
+		n := int64(3)
+		row := LemmaRow{
+			Dim: s.dim, NNZ: t.NNZ(), Rank: s.rank, Machines: s.machines, Iters: iters,
+			Seconds:       o.Elapsed.Seconds(),
+			BytesShuffled: o.Metrics.BytesShuffled,
+			FlopBound:     int64(iters) * n * sptensor.MTTKRPFlops(t.NNZ(), 3, s.rank),
+			MemoryBound:   int64(t.NNZ())*12 + 3*n*int64(s.dim)*int64(s.rank)*8,
+			ShuffleBound:  int64(t.NNZ())*12 + int64(iters)*n*int64(s.machines)*int64(s.dim)*int64(s.rank)*8,
+		}
+		// Peak memory: the engine reports per-machine peaks; take the max.
+		row.PeakMemory = o.peakMem()
+		rows = append(rows, row)
+		fmt.Fprintf(w, "%-8d %-8d %-5d %-4d | %10.3f %12d %12d | %12d %12d %12d\n",
+			row.Dim, row.NNZ, row.Rank, row.Machines,
+			row.Seconds, row.PeakMemory, row.BytesShuffled,
+			row.FlopBound, row.MemoryBound, row.ShuffleBound)
+	}
+	return rows
+}
+
+// peakMem is filled by runMethod via the metrics snapshot; the engine's peak
+// is not part of MetricsSnapshot, so Outcome carries it separately.
+func (o Outcome) peakMem() int64 { return o.PeakMemory }

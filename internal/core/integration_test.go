@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"distenc/internal/mat"
+	"distenc/internal/rdd"
+	"distenc/internal/sptensor"
+	"distenc/internal/synth"
+)
+
+// Killing tasks inside the MTTKRP stage must not change the result: the
+// engine re-runs them from lineage on another machine (the paper relies on
+// Spark's identical guarantee).
+func TestDisTenCSurvivesTaskFailures(t *testing.T) {
+	d := synth.LinearFactorDataset([]int{20, 20, 20}, 2, 1500, 51)
+	opts := Options{Rank: 3, MaxIter: 4, Tol: 0, Seed: 52}
+
+	clean := rdd.MustNewCluster(rdd.Config{Machines: 3})
+	defer clean.Close()
+	want, err := CompleteDistributed(clean, d.Tensor, d.Sims, DistOptions{Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faulty := rdd.MustNewCluster(rdd.Config{Machines: 3})
+	defer faulty.Close()
+	faulty.InjectTaskFailures("collect:mttkrp-reduce", 2)
+	faulty.InjectTaskFailures("shuffle-write:mttkrp-reduce", 1)
+	got, err := CompleteDistributed(faulty, d.Tensor, d.Sims, DistOptions{Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.Metrics().TaskRetries.Load() == 0 {
+		t.Fatal("no task was actually retried")
+	}
+	for n := range want.Model.Factors {
+		if diff := mat.MaxAbsDiff(want.Model.Factors[n], got.Model.Factors[n]); diff > 1e-9 {
+			t.Fatalf("mode %d differs by %v after fault recovery", n, diff)
+		}
+	}
+}
+
+// Property: the solver must be invariant to the storage order of the
+// observed entries (the result is a function of the observation set).
+func TestEntryOrderInvarianceProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		d := synth.LinearFactorDataset([]int{10, 10, 10}, 2, 400, seed%100)
+		opts := Options{Rank: 2, MaxIter: 4, Tol: 0, Seed: 53}
+		base, err := Complete(d.Tensor, nil, opts)
+		if err != nil {
+			return false
+		}
+		// Shuffle the entries.
+		shuffled := sptensor.New(d.Tensor.Dims...)
+		perm := rand.New(rand.NewPCG(seed, 1)).Perm(d.Tensor.NNZ())
+		for _, e := range perm {
+			shuffled.Append(d.Tensor.Index(e), d.Tensor.Val[e])
+		}
+		got, err := Complete(shuffled, nil, opts)
+		if err != nil {
+			return false
+		}
+		for n := range base.Model.Factors {
+			if mat.MaxAbsDiff(base.Model.Factors[n], got.Model.Factors[n]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: duplicating the cluster configuration (cores, serialization)
+// never changes DisTenC's result, only its schedule.
+func TestScheduleInvarianceProperty(t *testing.T) {
+	d := synth.LinearFactorDataset([]int{15, 15, 15}, 2, 800, 54)
+	opts := Options{Rank: 3, MaxIter: 3, Tol: 0, Seed: 55}
+	var reference []*mat.Dense
+	for i, cfg := range []rdd.Config{
+		{Machines: 1, CoresPerMachine: 1},
+		{Machines: 5, CoresPerMachine: 3},
+		{Machines: 2, CoresPerMachine: 1, SerializeTasks: true},
+		{Machines: 3, Mode: rdd.ModeMapReduce},
+	} {
+		c := rdd.MustNewCluster(cfg)
+		res, err := CompleteDistributed(c, d.Tensor, d.Sims, DistOptions{Options: opts})
+		c.Close()
+		if err != nil {
+			t.Fatalf("config %d: %v", i, err)
+		}
+		if reference == nil {
+			reference = res.Model.Factors
+			continue
+		}
+		for n := range reference {
+			if diff := mat.MaxAbsDiff(reference[n], res.Model.Factors[n]); diff > 1e-9 {
+				t.Fatalf("config %d: mode %d differs by %v", i, n, diff)
+			}
+		}
+	}
+}
+
+// Checkpointing the block RDD mid-algorithm is not part of DisTenC, but the
+// engine pieces must compose: cache + checkpoint + shuffle in one lineage.
+func TestEngineCompositionWithTensorBlocks(t *testing.T) {
+	d := synth.LinearFactorDataset([]int{12, 12, 12}, 2, 600, 56)
+	c := rdd.MustNewCluster(rdd.Config{Machines: 2})
+	defer c.Close()
+	layout := NewLayout(d.Tensor, DistOptions{Options: Options{Rank: 2}.withDefaults(), Partitions: 2})
+	blocks := layout.BlocksRDD(c)
+	ck, err := rdd.Checkpoint(blocks, "blocks-ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := rdd.MapPartitions(ck, "count", func(tc *rdd.TaskCtx, p int, in []*TensorBlock) ([]int, error) {
+		total := 0
+		for _, b := range in {
+			total += b.NNZ()
+		}
+		return []int{total}, nil
+	})
+	got, err := counts.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, v := range got {
+		sum += v
+	}
+	if sum != d.Tensor.NNZ() {
+		t.Fatalf("blocks cover %d entries, want %d", sum, d.Tensor.NNZ())
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"distenc/internal/mat"
+	"distenc/internal/rdd"
+	"distenc/internal/synth"
+)
+
+func TestNonNegativeOption(t *testing.T) {
+	d := synth.LinearFactorDataset([]int{15, 15, 15}, 2, 900, 31)
+	res, err := Complete(d.Tensor, d.Sims, Options{Rank: 3, MaxIter: 20, Seed: 32, NonNegative: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n, b := range res.Aux {
+		for _, v := range b.Data() {
+			if v < 0 {
+				t.Fatalf("mode %d aux has negative entry %v under NonNegative", n, v)
+			}
+		}
+	}
+	// And the distributed solver must agree with the serial one under the
+	// projection too.
+	c := rdd.MustNewCluster(rdd.Config{Machines: 2})
+	defer c.Close()
+	dist, err := CompleteDistributed(c, d.Tensor, d.Sims, DistOptions{
+		Options: Options{Rank: 3, MaxIter: 20, Seed: 32, NonNegative: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := range res.Model.Factors {
+		if diff := mat.MaxAbsDiff(res.Model.Factors[n], dist.Model.Factors[n]); diff > 1e-8 {
+			t.Fatalf("NonNegative: mode %d diverges by %v", n, diff)
+		}
+	}
+}
+
+func TestPerModeAlphas(t *testing.T) {
+	d := synth.LinearFactorDataset([]int{12, 12, 12}, 2, 700, 33)
+	// Alphas overriding mode 0 only; zero entries fall back to Alpha.
+	res, err := Complete(d.Tensor, d.Sims, Options{
+		Rank: 3, MaxIter: 10, Seed: 34, Alpha: 0.5, Alphas: []float64{5, 0, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, err := Complete(d.Tensor, d.Sims, Options{
+		Rank: 3, MaxIter: 10, Seed: 34, Alpha: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The override must actually change the solution.
+	if diff := mat.MaxAbsDiff(res.Model.Factors[0], uniform.Model.Factors[0]); diff == 0 {
+		t.Fatal("per-mode alpha had no effect")
+	}
+	// Identical values must reproduce the uniform run exactly.
+	same, err := Complete(d.Tensor, d.Sims, Options{
+		Rank: 3, MaxIter: 10, Seed: 34, Alpha: 0.5, Alphas: []float64{0.5, 0.5, 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := range uniform.Model.Factors {
+		if diff := mat.MaxAbsDiff(same.Model.Factors[n], uniform.Model.Factors[n]); diff != 0 {
+			t.Fatalf("explicit uniform alphas diverged at mode %d by %v", n, diff)
+		}
+	}
+}
+
+func TestAlphasLengthValidated(t *testing.T) {
+	d := synth.LinearFactorDataset([]int{8, 8, 8}, 2, 200, 35)
+	_, err := Complete(d.Tensor, d.Sims, Options{Rank: 2, MaxIter: 2, Alphas: []float64{1, 2}})
+	if !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("err = %v, want ErrDimensionMismatch", err)
+	}
+	c := rdd.MustNewCluster(rdd.Config{Machines: 2})
+	defer c.Close()
+	_, err = CompleteDistributed(c, d.Tensor, d.Sims, DistOptions{Options: Options{Rank: 2, MaxIter: 2, Alphas: []float64{1}}})
+	if !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("distributed err = %v, want ErrDimensionMismatch", err)
+	}
+}
+
+func TestConsensusStoppingCriterion(t *testing.T) {
+	d := synth.LinearFactorDataset([]int{10, 10, 10}, 2, 500, 36)
+	// A loose consensus tolerance must stop earlier than the tight
+	// iterate-delta tolerance alone.
+	strict, err := Complete(d.Tensor, nil, Options{Rank: 2, MaxIter: 200, Tol: 1e-12, Seed: 37})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := Complete(d.Tensor, nil, Options{Rank: 2, MaxIter: 200, Tol: 1e-12, ConsensusTol: 1e-1, Seed: 37})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loose.Converged {
+		t.Fatal("consensus criterion never fired")
+	}
+	if loose.Iters >= strict.Iters {
+		t.Fatalf("consensus stop (%d iters) not earlier than strict (%d iters)", loose.Iters, strict.Iters)
+	}
+}
+
+func TestAlphaForFallback(t *testing.T) {
+	o := Options{Alpha: 0.3, Alphas: []float64{0, 2}}
+	if o.AlphaFor(0) != 0.3 {
+		t.Fatal("zero entry must fall back to Alpha")
+	}
+	if o.AlphaFor(1) != 2 {
+		t.Fatal("override ignored")
+	}
+	if o.AlphaFor(5) != 0.3 {
+		t.Fatal("out-of-range mode must fall back")
+	}
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"distenc/internal/graph"
+	"distenc/internal/mat"
+	"distenc/internal/metrics"
+	"distenc/internal/sptensor"
+)
+
+// Complete runs the CP-based tensor completion ADMM (Algorithm 1) on a
+// single machine, with the paper's §III optimizations applied: the spectral
+// form of the B update (Eq. 7), Gram-matrix products instead of explicit
+// Khatri-Rao (Eq. 12), and the residual-tensor identity (Eq. 16) instead of
+// materializing the completed dense tensor.
+//
+// sims may be nil (no auxiliary information) or hold one similarity per mode
+// with nil entries for modes without auxiliary data.
+func Complete(t *sptensor.Tensor, sims []*graph.Similarity, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	if err := validate(t, sims); err != nil {
+		return nil, err
+	}
+	if err := validateOptions(t, opt); err != nil {
+		return nil, err
+	}
+	sp, err := spectra(sims, opt.TruncK, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	st := newSolverState(t, sp, opt)
+	start := time.Now()
+	for st.iter = 0; st.iter < opt.MaxIter; st.iter++ {
+		grams := make([]*mat.Dense, t.Order())
+		for n, f := range st.factors {
+			grams[n] = mat.Gram(f)
+		}
+		next, bs := st.iterateWith(grams, func(mode int) *mat.Dense {
+			return sptensor.MTTKRP(st.resid, st.factors, mode, st.scratch)
+		})
+		delta := st.advance(next, bs)
+		point := metrics.ConvergencePoint{
+			Iter:      st.iter,
+			Elapsed:   time.Since(start),
+			TrainRMSE: st.trainRMSE(),
+			MaxDelta:  delta,
+		}
+		st.trace = append(st.trace, point)
+		if opt.OnIteration != nil {
+			opt.OnIteration(point)
+		}
+		if st.stop(delta) {
+			st.converged = true
+			st.iter++
+			break
+		}
+	}
+	return st.result(start), nil
+}
+
+// solverState carries the ADMM variables shared by the serial solver and the
+// driver side of DisTenC.
+type solverState struct {
+	t       *sptensor.Tensor
+	opt     Options
+	sp      []*graph.Spectral
+	factors []*mat.Dense // A(n)
+	aux     []*mat.Dense // B(n)
+	mult    []*mat.Dense // Y(n)
+	resid   *sptensor.Tensor
+	eta     float64
+	iter    int
+
+	consensus float64
+	converged bool
+	trace     metrics.Trace
+	scratch   []float64
+}
+
+func newSolverState(t *sptensor.Tensor, sp []*graph.Spectral, opt Options) *solverState {
+	st := &solverState{
+		t:       t,
+		opt:     opt,
+		sp:      sp,
+		factors: initFactors(t.Dims, opt.Rank, opt.Seed),
+		eta:     opt.Eta0,
+		scratch: make([]float64, opt.Rank),
+	}
+	ApplyInitScale(st.factors, t, opt)
+	st.aux = make([]*mat.Dense, t.Order())
+	st.mult = make([]*mat.Dense, t.Order())
+	for n, d := range t.Dims {
+		st.aux[n] = mat.NewDense(d, opt.Rank)
+		st.mult[n] = mat.NewDense(d, opt.Rank)
+	}
+	st.resid = sptensor.Residual(t, sptensor.NewKruskal(st.factors...))
+	return st
+}
+
+// iterateWith performs one Jacobi-style outer iteration: every mode's B and
+// A updates are computed from the iteration-t variables (as Algorithm 3
+// lines 7–12 do, with F and H cached per mode), returning the new factors
+// and aux variables without committing them. grams are the per-mode
+// self-products A(n)ᵀA(n); mttkrp supplies E_(n)·U(n) (in-process for the
+// serial solver, via the engine for DisTenC).
+func (st *solverState) iterateWith(grams []*mat.Dense, mttkrp func(mode int) *mat.Dense) (next, bs []*mat.Dense) {
+	order := st.t.Order()
+	next = make([]*mat.Dense, order)
+	bs = make([]*mat.Dense, order)
+	for n := 0; n < order; n++ {
+		bs[n] = st.updateAux(n)
+		// F_n = U(n)ᵀU(n) via the Hadamard-of-Grams identity (Eq. 12).
+		fn := sptensor.GramProduct(grams, n)
+		// H_n = A(n)·F_n + E_(n)·U(n): the Eq. (16) residual form.
+		h := mat.Mul(st.factors[n], fn)
+		h = mat.AddMat(h, mttkrp(n))
+		// A(n) ← (H + ηB + Y)(F + λI + ηI)⁻¹  (Algorithm 3 line 11).
+		h.AddScaled(st.eta, bs[n])
+		h.AddScaled(1, st.mult[n])
+		lhs := fn.Clone()
+		for i := 0; i < lhs.Rows(); i++ {
+			lhs.Add(i, i, st.opt.Lambda+st.eta)
+		}
+		inv, err := mat.InverseSPD(lhs)
+		if err != nil {
+			// F + (λ+η)I is SPD by construction; reaching this means the
+			// factors carry non-finite values and iteration must stop.
+			panic("core: normal-equation matrix not SPD: " + err.Error())
+		}
+		next[n] = mat.Mul(h, inv)
+	}
+	return next, bs
+}
+
+// updateAux computes B(n) ← (ηI + αL_n)⁻¹(ηA(n) − Y(n)) via the spectral
+// machinery; without auxiliary information L = 0 and the update reduces to
+// (ηA − Y)/η.
+func (st *solverState) updateAux(n int) *mat.Dense {
+	x := st.factors[n].Clone().Scale(st.eta)
+	x.AddScaled(-1, st.mult[n])
+	var b *mat.Dense
+	if st.sp == nil || st.sp[n] == nil {
+		b = x.Scale(1 / st.eta)
+	} else {
+		b = st.sp[n].InverseApply(st.opt.AlphaFor(n), st.eta, x)
+	}
+	if st.opt.NonNegative {
+		data := b.Data()
+		for i, v := range data {
+			if v < 0 {
+				data[i] = 0
+			}
+		}
+	}
+	return b
+}
+
+// advance commits the iteration: Y and η updates (Algorithm 3 lines 12/14),
+// the residual refresh E = Ω∗(T − [[A_{t+1}]]) (§III-D; see DESIGN.md on the
+// Algorithm 3 line-13 typo), and returns the convergence value
+// max_n ‖A_{t+1}−A_t‖²_F.
+func (st *solverState) advance(next, bs []*mat.Dense) float64 {
+	d := st.advanceNoResid(next, bs)
+	st.resid = sptensor.Residual(st.t, sptensor.NewKruskal(st.factors...))
+	return d
+}
+
+// advanceNoResid is advance without the driver-side residual refresh —
+// DisTenC's stage recomputes residuals on the cluster instead (§III-D).
+// It also records the consensus gap max_n ‖A(n)−B(n)‖_F for the Algorithm 1
+// stopping criterion.
+func (st *solverState) advanceNoResid(next, bs []*mat.Dense) float64 {
+	var maxDelta, consensus float64
+	for n := range st.factors {
+		d := mat.SubMat(next[n], st.factors[n]).NormF()
+		maxDelta = math.Max(maxDelta, d*d)
+		gap := mat.SubMat(bs[n], next[n])
+		consensus = math.Max(consensus, gap.NormF())
+		// Y(n) ← Y(n) + η(B(n) − A(n)).
+		st.mult[n].AddScaled(st.eta, gap)
+		st.factors[n] = next[n]
+		st.aux[n] = bs[n]
+	}
+	st.eta = math.Min(st.opt.Rho*st.eta, st.opt.EtaMax)
+	st.consensus = consensus
+	return maxDelta
+}
+
+// stop reports whether either stopping criterion fired for delta.
+func (st *solverState) stop(delta float64) bool {
+	if delta < st.opt.Tol {
+		return true
+	}
+	return st.opt.ConsensusTol > 0 && st.consensus < st.opt.ConsensusTol
+}
+
+// ApplyInitScale rescales the random initialization so the initial model's
+// mean prediction over the observed cells matches the observed mean (unless
+// opt.InitScale pins an explicit scale). With nearly all cells missing, the
+// EM-style fill-in otherwise spends many iterations just finding the data's
+// scale. Exported so every baseline starts from the identical point.
+func ApplyInitScale(factors []*mat.Dense, t *sptensor.Tensor, opt Options) {
+	scale := opt.InitScale
+	if scale == 0 {
+		if t.NNZ() == 0 {
+			return
+		}
+		model := sptensor.NewKruskal(factors...)
+		var predSum, obsSum float64
+		for e := 0; e < t.NNZ(); e++ {
+			predSum += model.At(t.Index(e))
+			obsSum += t.Val[e]
+		}
+		if predSum == 0 || obsSum/predSum <= 0 {
+			return
+		}
+		scale = math.Pow(obsSum/predSum, 1/float64(len(factors)))
+	}
+	if scale == 1 {
+		return
+	}
+	for _, f := range factors {
+		f.Scale(scale)
+	}
+}
+
+func (st *solverState) trainRMSE() float64 {
+	if st.t.NNZ() == 0 {
+		return 0
+	}
+	return st.resid.NormF() / math.Sqrt(float64(st.t.NNZ()))
+}
+
+func (st *solverState) result(start time.Time) *Result {
+	return &Result{
+		Model:     sptensor.NewKruskal(st.factors...),
+		Aux:       st.aux,
+		Iters:     st.iter,
+		Converged: st.converged,
+		Trace:     st.trace,
+		Elapsed:   time.Since(start),
+	}
+}

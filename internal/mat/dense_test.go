@@ -1,0 +1,245 @@
+package mat
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func randDense(rng *rand.Rand, r, c int) *Dense {
+	m := NewDense(r, c)
+	for i := range m.data {
+		m.data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestNewDensePanicsOnBadData(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched data length")
+		}
+	}()
+	NewDenseData(2, 3, make([]float64, 5))
+}
+
+func TestAtSetRow(t *testing.T) {
+	m := NewDense(3, 4)
+	m.Set(1, 2, 7.5)
+	if got := m.At(1, 2); got != 7.5 {
+		t.Fatalf("At(1,2) = %v, want 7.5", got)
+	}
+	row := m.Row(1)
+	if row[2] != 7.5 {
+		t.Fatalf("Row(1)[2] = %v, want 7.5", row[2])
+	}
+	row[0] = 1 // row is a view
+	if m.At(1, 0) != 1 {
+		t.Fatal("Row must be a mutable view")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	m := randDense(rng, 3, 5)
+	mt := m.T()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 5; j++ {
+			if m.At(i, j) != mt.At(j, i) {
+				t.Fatalf("transpose mismatch at %d,%d", i, j)
+			}
+		}
+	}
+	if d := MaxAbsDiff(m, mt.T()); d != 0 {
+		t.Fatalf("double transpose differs by %v", d)
+	}
+}
+
+func TestMulAgainstHand(t *testing.T) {
+	a := NewDenseData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := NewDenseData(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	got := Mul(a, b)
+	want := NewDenseData(2, 2, []float64{58, 64, 139, 154})
+	if d := MaxAbsDiff(got, want); d > 1e-12 {
+		t.Fatalf("Mul mismatch: got %v want %v", got, want)
+	}
+}
+
+func TestMulATBAndABT(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	a := randDense(rng, 6, 4)
+	b := randDense(rng, 6, 3)
+	got := MulATB(a, b)
+	want := Mul(a.T(), b)
+	if d := MaxAbsDiff(got, want); d > 1e-12 {
+		t.Fatalf("MulATB differs from explicit transpose by %v", d)
+	}
+	c := randDense(rng, 5, 4)
+	got2 := MulABT(a, c)
+	want2 := Mul(a, c.T())
+	if d := MaxAbsDiff(got2, want2); d > 1e-12 {
+		t.Fatalf("MulABT differs from explicit transpose by %v", d)
+	}
+}
+
+func TestGramSymmetricPSD(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	a := randDense(rng, 8, 4)
+	g := Gram(a)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if !almostEq(g.At(i, j), g.At(j, i), 1e-12) {
+				t.Fatalf("Gram not symmetric at %d,%d", i, j)
+			}
+		}
+	}
+	// xᵀGx = ‖Ax‖² ≥ 0.
+	x := []float64{1, -2, 0.5, 3}
+	if q := Dot(x, MulVec(g, x)); q < -1e-12 {
+		t.Fatalf("Gram not PSD: quadratic form %v", q)
+	}
+}
+
+func TestKroneckerDims(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{1, 2, 3, 4})
+	b := NewDenseData(2, 2, []float64{0, 5, 6, 7})
+	k := Kronecker(a, b)
+	if r, c := k.Dims(); r != 4 || c != 4 {
+		t.Fatalf("Kronecker dims %d×%d, want 4×4", r, c)
+	}
+	if k.At(0, 1) != 5 || k.At(2, 0) != 3*0 || k.At(3, 3) != 4*7 {
+		t.Fatalf("Kronecker values wrong: %v", k)
+	}
+}
+
+// Khatri-Rao column r must equal the Kronecker product of columns r.
+func TestKhatriRaoMatchesKroneckerColumns(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	a := randDense(rng, 3, 4)
+	b := randDense(rng, 5, 4)
+	kr := KhatriRao(a, b)
+	if r, c := kr.Dims(); r != 15 || c != 4 {
+		t.Fatalf("KhatriRao dims %d×%d, want 15×4", r, c)
+	}
+	for r := 0; r < 4; r++ {
+		for i := 0; i < 3; i++ {
+			for k := 0; k < 5; k++ {
+				want := a.At(i, r) * b.At(k, r)
+				if got := kr.At(i*5+k, r); !almostEq(got, want, 1e-12) {
+					t.Fatalf("KhatriRao[%d,%d] = %v, want %v", i*5+k, r, got, want)
+				}
+			}
+		}
+	}
+}
+
+// Property: (A⊙B)ᵀ(A⊙B) == (AᵀA) ∗ (BᵀB). This identity is the heart of the
+// paper's Eq. (12) optimization.
+func TestKhatriRaoGramIdentityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b9))
+		ia, ib, r := 2+int(seed%5), 2+int((seed>>8)%5), 1+int((seed>>16)%4)
+		a := randDense(rng, ia, r)
+		b := randDense(rng, ib, r)
+		lhs := Gram(KhatriRao(a, b))
+		rhs := Hadamard(Gram(a), Gram(b))
+		return MaxAbsDiff(lhs, rhs) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHadamardAndArithmetic(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{1, 2, 3, 4})
+	b := NewDenseData(2, 2, []float64{5, 6, 7, 8})
+	h := Hadamard(a, b)
+	want := NewDenseData(2, 2, []float64{5, 12, 21, 32})
+	if MaxAbsDiff(h, want) != 0 {
+		t.Fatalf("Hadamard = %v, want %v", h, want)
+	}
+	s := AddMat(a, b)
+	if s.At(1, 1) != 12 {
+		t.Fatalf("AddMat wrong: %v", s)
+	}
+	d := SubMat(b, a)
+	if d.At(0, 0) != 4 {
+		t.Fatalf("SubMat wrong: %v", d)
+	}
+	ac := a.Clone().Scale(2)
+	if ac.At(1, 0) != 6 || a.At(1, 0) != 3 {
+		t.Fatal("Scale must not alias Clone source")
+	}
+}
+
+func TestMulVecAndMulTVec(t *testing.T) {
+	a := NewDenseData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	x := []float64{1, 0, -1}
+	y := MulVec(a, x)
+	if y[0] != -2 || y[1] != -2 {
+		t.Fatalf("MulVec = %v", y)
+	}
+	z := MulTVec(a, []float64{1, 1})
+	if z[0] != 5 || z[1] != 7 || z[2] != 9 {
+		t.Fatalf("MulTVec = %v", z)
+	}
+}
+
+func TestNormF(t *testing.T) {
+	m := NewDenseData(2, 2, []float64{3, 0, 0, 4})
+	if got := m.NormF(); !almostEq(got, 5, 1e-12) {
+		t.Fatalf("NormF = %v, want 5", got)
+	}
+}
+
+func TestIdentityAndDiag(t *testing.T) {
+	id := Identity(3)
+	d := Diag([]float64{1, 1, 1})
+	if MaxAbsDiff(id, d) != 0 {
+		t.Fatal("Identity != Diag(ones)")
+	}
+	got := id.Diagonal()
+	for _, v := range got {
+		if v != 1 {
+			t.Fatalf("Diagonal = %v", got)
+		}
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	x := []float64{3, 4}
+	if Norm2(x) != 5 {
+		t.Fatal("Norm2")
+	}
+	y := []float64{1, 1}
+	Axpy(2, x, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Fatalf("Axpy = %v", y)
+	}
+	n := Normalize(x)
+	if !almostEq(n, 5, 1e-12) || !almostEq(Norm2(x), 1, 1e-12) {
+		t.Fatal("Normalize")
+	}
+	z := make([]float64, 2)
+	HadamardVec(z, []float64{2, 3}, []float64{4, 5})
+	if z[0] != 8 || z[1] != 15 {
+		t.Fatalf("HadamardVec = %v", z)
+	}
+	if Normalize([]float64{0, 0}) != 0 {
+		t.Fatal("Normalize of zero vector must return 0")
+	}
+}
+
+func TestStringSmallAndLarge(t *testing.T) {
+	small := NewDenseData(1, 2, []float64{1, 2})
+	if s := small.String(); s == "" {
+		t.Fatal("empty String")
+	}
+	big := NewDense(20, 20)
+	if s := big.String(); s != "Dense(20×20)" {
+		t.Fatalf("large String = %q", s)
+	}
+}

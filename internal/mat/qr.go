@@ -1,0 +1,113 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// QR holds a Householder QR factorization A = Q·R with A m×n, m ≥ n,
+// Q m×n orthonormal (thin form) and R n×n upper triangular.
+type QR struct {
+	Q *Dense
+	R *Dense
+}
+
+// NewQR factors a (m ≥ n) by Householder reflections. Used for
+// orthonormalizing bases (e.g. re-orthonormalizing spectral vectors) and for
+// least-squares solves in tests.
+func NewQR(a *Dense) (*QR, error) {
+	m, n := a.Dims()
+	if m < n {
+		return nil, fmt.Errorf("mat: QR needs m ≥ n, got %d×%d", m, n)
+	}
+	r := a.Clone()
+	// Accumulate the reflections applied to an m×n identity block.
+	q := NewDense(m, n)
+	for i := 0; i < n; i++ {
+		q.Set(i, i, 1)
+	}
+	// vs stores the Householder vectors to apply to q afterwards (in
+	// reverse), each of length m with leading zeros.
+	vs := make([][]float64, 0, n)
+	for k := 0; k < n; k++ {
+		// Build the reflection zeroing r[k+1:, k].
+		norm := 0.0
+		for i := k; i < m; i++ {
+			norm += r.At(i, k) * r.At(i, k)
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			vs = append(vs, nil)
+			continue
+		}
+		alpha := -math.Copysign(norm, r.At(k, k))
+		v := make([]float64, m)
+		v[k] = r.At(k, k) - alpha
+		for i := k + 1; i < m; i++ {
+			v[i] = r.At(i, k)
+		}
+		vnorm := Norm2(v[k:])
+		if vnorm == 0 {
+			vs = append(vs, nil)
+			continue
+		}
+		ScaleVec(1/vnorm, v[k:])
+		// Apply (I − 2vvᵀ) to R from the left.
+		for j := k; j < n; j++ {
+			var dot float64
+			for i := k; i < m; i++ {
+				dot += v[i] * r.At(i, j)
+			}
+			for i := k; i < m; i++ {
+				r.Add(i, j, -2*dot*v[i])
+			}
+		}
+		vs = append(vs, v)
+	}
+	// Q = H_1 H_2 … H_n · I_thin: apply reflections in reverse to q.
+	for k := n - 1; k >= 0; k-- {
+		v := vs[k]
+		if v == nil {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			var dot float64
+			for i := k; i < m; i++ {
+				dot += v[i] * q.At(i, j)
+			}
+			for i := k; i < m; i++ {
+				q.Add(i, j, -2*dot*v[i])
+			}
+		}
+	}
+	// Zero the strictly-lower part of R and truncate to n×n.
+	rn := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			rn.Set(i, j, r.At(i, j))
+		}
+	}
+	return &QR{Q: q, R: rn}, nil
+}
+
+// SolveVec solves the least-squares problem min ‖A·x − b‖₂ via R·x = Qᵀb.
+func (f *QR) SolveVec(b []float64) ([]float64, error) {
+	m, n := f.Q.Dims()
+	if len(b) != m {
+		return nil, fmt.Errorf("mat: QR SolveVec rhs length %d, want %d", len(b), m)
+	}
+	y := MulTVec(f.Q, b)
+	// Back substitution on R.
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.R.At(i, j) * y[j]
+		}
+		d := f.R.At(i, i)
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		y[i] = s / d
+	}
+	return y[:n], nil
+}

@@ -1,0 +1,114 @@
+package mat
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestQRReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(71, 72))
+	for _, dims := range [][2]int{{4, 4}, {8, 3}, {20, 10}, {1, 1}} {
+		a := randDense(rng, dims[0], dims[1])
+		qr, err := NewQR(a)
+		if err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+		if d := MaxAbsDiff(Mul(qr.Q, qr.R), a); d > 1e-10 {
+			t.Fatalf("%v: Q·R differs from A by %v", dims, d)
+		}
+		// Q orthonormal columns.
+		if d := MaxAbsDiff(Gram(qr.Q), Identity(dims[1])); d > 1e-10 {
+			t.Fatalf("%v: QᵀQ differs from I by %v", dims, d)
+		}
+		// R upper triangular.
+		for i := 0; i < dims[1]; i++ {
+			for j := 0; j < i; j++ {
+				if qr.R.At(i, j) != 0 {
+					t.Fatalf("%v: R[%d,%d] = %v below diagonal", dims, i, j, qr.R.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestQRRejectsWide(t *testing.T) {
+	if _, err := NewQR(NewDense(2, 3)); err == nil {
+		t.Fatal("expected error for m < n")
+	}
+}
+
+func TestQRLeastSquares(t *testing.T) {
+	// Overdetermined consistent system: exact solution recovered.
+	rng := rand.New(rand.NewPCG(73, 74))
+	a := randDense(rng, 10, 4)
+	x := []float64{1, -2, 3, 0.5}
+	b := MulVec(a, x)
+	qr, err := NewQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := qr.SolveVec(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if !almostEq(got[i], x[i], 1e-9) {
+			t.Fatalf("x[%d] = %v, want %v", i, got[i], x[i])
+		}
+	}
+	if _, err := qr.SolveVec(make([]float64, 3)); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+// Property: least-squares residual is orthogonal to the column space.
+func TestQRResidualOrthogonalProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 75))
+		m, n := 5+int(seed%10), 2+int(seed%3)
+		a := randDense(rng, m, n)
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		qr, err := NewQR(a)
+		if err != nil {
+			return false
+		}
+		x, err := qr.SolveVec(b)
+		if err != nil {
+			return false
+		}
+		r := MulVec(a, x)
+		for i := range r {
+			r[i] = b[i] - r[i]
+		}
+		// Aᵀ·r ≈ 0.
+		atr := MulTVec(a, r)
+		for _, v := range atr {
+			if v > 1e-8 || v < -1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQRRankDeficientColumn(t *testing.T) {
+	// A zero column: factorization still valid, solve reports singular.
+	a := NewDenseData(3, 2, []float64{1, 0, 2, 0, 3, 0})
+	qr, err := NewQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxAbsDiff(Mul(qr.Q, qr.R), a); d > 1e-12 {
+		t.Fatalf("reconstruction off by %v", d)
+	}
+	if _, err := qr.SolveVec([]float64{1, 2, 3}); err != ErrSingular {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}

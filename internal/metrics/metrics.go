@@ -1,0 +1,109 @@
+// Package metrics implements the evaluation measures the paper reports:
+// RMSE over held-out observations (§IV-E), relative reconstruction error
+// (§IV-D), and the per-iteration convergence traces behind Figures 6b and 7b.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"distenc/internal/sptensor"
+)
+
+// RMSE is √(‖Ω∗(T−X)‖²_F / nnz(T)) evaluated over the entries of test
+// against the Kruskal model (the paper's recommender-system metric).
+func RMSE(test *sptensor.Tensor, model *sptensor.Kruskal) float64 {
+	if test.NNZ() == 0 {
+		return 0
+	}
+	var s float64
+	for e := 0; e < test.NNZ(); e++ {
+		d := test.Val[e] - model.At(test.Index(e))
+		s += d * d
+	}
+	return math.Sqrt(s / float64(test.NNZ()))
+}
+
+// RelativeError is ‖X−Y‖_F/‖Y‖_F over the entries of truth (the paper's
+// reconstruction-error metric, §IV-D).
+func RelativeError(truth *sptensor.Tensor, model *sptensor.Kruskal) float64 {
+	var num, den float64
+	for e := 0; e < truth.NNZ(); e++ {
+		y := truth.Val[e]
+		d := y - model.At(truth.Index(e))
+		num += d * d
+		den += y * y
+	}
+	if den == 0 {
+		return 0
+	}
+	return math.Sqrt(num / den)
+}
+
+// ConvergencePoint is one sample of a training trace.
+type ConvergencePoint struct {
+	Iter      int
+	Elapsed   time.Duration
+	TrainRMSE float64
+	// MaxDelta is the convergence criterion value max_n ‖A_{t+1}−A_t‖²_F.
+	MaxDelta float64
+}
+
+// Trace is an in-order training trace (Figures 6b, 7b).
+type Trace []ConvergencePoint
+
+// Final returns the last point; ok is false for an empty trace.
+func (t Trace) Final() (ConvergencePoint, bool) {
+	if len(t) == 0 {
+		return ConvergencePoint{}, false
+	}
+	return t[len(t)-1], true
+}
+
+// TimeToReach returns the first elapsed time at which the training RMSE
+// drops to target or below, and whether it ever does — the "convergence
+// rate" comparison of Figure 6b.
+func (t Trace) TimeToReach(target float64) (time.Duration, bool) {
+	for _, p := range t {
+		if p.TrainRMSE <= target {
+			return p.Elapsed, true
+		}
+	}
+	return 0, false
+}
+
+// String renders a compact table of the trace.
+func (t Trace) String() string {
+	out := ""
+	for _, p := range t {
+		out += fmt.Sprintf("iter=%3d t=%8.3fs rmse=%.6f delta=%.3g\n",
+			p.Iter, p.Elapsed.Seconds(), p.TrainRMSE, p.MaxDelta)
+	}
+	return out
+}
+
+// MeanStd returns the mean and (population) standard deviation of xs —
+// experiments report 5-run averages as the paper does.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(std / float64(len(xs)))
+}
+
+// Improvement returns the percentage by which got improves on base for a
+// lower-is-better metric — the "average improvement of 23.5%" accounting.
+func Improvement(base, got float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (base - got) / base
+}

@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"distenc/internal/mat"
+	"distenc/internal/sptensor"
+)
+
+func onesKruskal(dims []int, r int) *sptensor.Kruskal {
+	fs := make([]*mat.Dense, len(dims))
+	for n, d := range dims {
+		f := mat.NewDense(d, r)
+		f.Fill(1)
+		fs[n] = f
+	}
+	return sptensor.NewKruskal(fs...)
+}
+
+func TestRMSEExactModelIsZero(t *testing.T) {
+	k := onesKruskal([]int{3, 3}, 2) // every entry = 2
+	ts := sptensor.New(3, 3)
+	ts.Append([]int32{0, 0}, 2)
+	ts.Append([]int32{2, 1}, 2)
+	if got := RMSE(ts, k); got != 0 {
+		t.Fatalf("RMSE = %v, want 0", got)
+	}
+}
+
+func TestRMSEHandComputed(t *testing.T) {
+	k := onesKruskal([]int{2, 2}, 1) // every entry = 1
+	ts := sptensor.New(2, 2)
+	ts.Append([]int32{0, 0}, 3) // error 2
+	ts.Append([]int32{1, 1}, 1) // error 0
+	want := math.Sqrt((4.0 + 0.0) / 2.0)
+	if got := RMSE(ts, k); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("RMSE = %v, want %v", got, want)
+	}
+	empty := sptensor.New(2, 2)
+	if RMSE(empty, k) != 0 {
+		t.Fatal("empty test RMSE must be 0")
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	k := onesKruskal([]int{2, 2}, 1)
+	ts := sptensor.New(2, 2)
+	ts.Append([]int32{0, 0}, 2) // model 1, error 1
+	ts.Append([]int32{1, 0}, 2)
+	want := math.Sqrt(2.0 / 8.0)
+	if got := RelativeError(ts, k); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("RelativeError = %v, want %v", got, want)
+	}
+	if RelativeError(sptensor.New(2, 2), k) != 0 {
+		t.Fatal("empty truth must give 0")
+	}
+}
+
+func TestTraceHelpers(t *testing.T) {
+	tr := Trace{
+		{Iter: 0, Elapsed: time.Second, TrainRMSE: 1.0},
+		{Iter: 1, Elapsed: 2 * time.Second, TrainRMSE: 0.5},
+		{Iter: 2, Elapsed: 3 * time.Second, TrainRMSE: 0.2},
+	}
+	f, ok := tr.Final()
+	if !ok || f.Iter != 2 {
+		t.Fatalf("Final = %+v, %v", f, ok)
+	}
+	d, ok := tr.TimeToReach(0.5)
+	if !ok || d != 2*time.Second {
+		t.Fatalf("TimeToReach = %v, %v", d, ok)
+	}
+	if _, ok := tr.TimeToReach(0.01); ok {
+		t.Fatal("unreachable target must report false")
+	}
+	if _, ok := (Trace{}).Final(); ok {
+		t.Fatal("empty Final must be false")
+	}
+	if tr.String() == "" {
+		t.Fatal("String must render")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(m-5) > 1e-12 || math.Abs(s-2) > 1e-12 {
+		t.Fatalf("MeanStd = %v, %v", m, s)
+	}
+	m, s = MeanStd(nil)
+	if m != 0 || s != 0 {
+		t.Fatal("empty MeanStd")
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	if got := Improvement(2.0, 1.5); math.Abs(got-25) > 1e-12 {
+		t.Fatalf("Improvement = %v, want 25", got)
+	}
+	if Improvement(0, 1) != 0 {
+		t.Fatal("zero base")
+	}
+}
+
+func TestRMSERandomConsistency(t *testing.T) {
+	// RMSE computed here must match a direct loop over the residual tensor.
+	rng := rand.New(rand.NewPCG(1, 2))
+	fs := make([]*mat.Dense, 3)
+	dims := []int{5, 6, 7}
+	for n, d := range dims {
+		f := mat.NewDense(d, 3)
+		for i := 0; i < d; i++ {
+			for j := 0; j < 3; j++ {
+				f.Set(i, j, rng.Float64())
+			}
+		}
+		fs[n] = f
+	}
+	k := sptensor.NewKruskal(fs...)
+	ts := sptensor.New(dims...)
+	idx := make([]int32, 3)
+	for e := 0; e < 50; e++ {
+		idx[0], idx[1], idx[2] = int32(rng.IntN(5)), int32(rng.IntN(6)), int32(rng.IntN(7))
+		ts.Append(idx, rng.NormFloat64())
+	}
+	res := sptensor.Residual(ts, k)
+	want := res.NormF() / math.Sqrt(float64(ts.NNZ()))
+	if got := RMSE(ts, k); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("RMSE = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,170 @@
+// Package part implements the greedy load-balancing block partitioner of the
+// paper's Algorithm 2 (DisTenC-Greedy): for each mode it walks the per-slice
+// non-zero histogram and closes a partition whenever its load reaches the
+// target chunk size nnz/P, picking whichever boundary (before or after the
+// current slice) lands closer to the target. A uniform index split is kept
+// for the load-imbalance ablation.
+package part
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Boundaries describes a 1-D partitioning of slice indices [0, Size) into
+// len(Ends) contiguous ranges; partition p covers [start(p), Ends[p]) where
+// start(0)=0 and start(p)=Ends[p-1].
+type Boundaries struct {
+	Size int
+	Ends []int
+}
+
+// NumPartitions returns the partition count.
+func (b Boundaries) NumPartitions() int { return len(b.Ends) }
+
+// Range returns partition p's half-open index range.
+func (b Boundaries) Range(p int) (lo, hi int) {
+	if p > 0 {
+		lo = b.Ends[p-1]
+	}
+	return lo, b.Ends[p]
+}
+
+// PartitionOf returns the partition containing slice index i.
+func (b Boundaries) PartitionOf(i int) int {
+	return sort.SearchInts(b.Ends, i+1)
+}
+
+// Validate checks the boundary invariants.
+func (b Boundaries) Validate() error {
+	if len(b.Ends) == 0 {
+		return fmt.Errorf("part: no partitions")
+	}
+	prev := 0
+	for p, e := range b.Ends {
+		if e < prev {
+			return fmt.Errorf("part: partition %d ends at %d before previous end %d", p, e, prev)
+		}
+		prev = e
+	}
+	if prev != b.Size {
+		return fmt.Errorf("part: last partition ends at %d, want %d", prev, b.Size)
+	}
+	return nil
+}
+
+// Greedy partitions a mode with per-slice non-zero counts θ into parts
+// contiguous ranges following Algorithm 2. parts is clamped to [1, len(θ)]
+// (a partition per slice is the finest possible split).
+func Greedy(counts []int64, parts int) Boundaries {
+	n := len(counts)
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > n {
+		parts = n
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	ends := make([]int, 0, parts)
+	target := float64(total) / float64(parts)
+
+	var sum int64
+	var prevSum int64
+	for i := 0; i < n && len(ends) < parts-1; i++ {
+		sum += counts[i]
+		if float64(sum) >= target {
+			// Close the partition at i+1 or i, whichever load is closer to
+			// the target (the ε comparison in Algorithm 2 lines 7-10).
+			after := float64(sum) - target
+			before := target - float64(prevSum)
+			end := i + 1
+			if before < after && i > 0 && (len(ends) == 0 || ends[len(ends)-1] < i) {
+				end = i
+				sum = counts[i]
+			} else {
+				sum = 0
+			}
+			// Never emit an empty partition.
+			if len(ends) > 0 && end <= ends[len(ends)-1] {
+				end = ends[len(ends)-1] + 1
+				sum = 0
+			}
+			ends = append(ends, end)
+			prevSum = 0
+			continue
+		}
+		prevSum = sum
+	}
+	// Remaining slices (and any partitions we could not close) go to the
+	// tail; pad with unit-width partitions if we ran out of slices.
+	for len(ends) < parts-1 {
+		last := 0
+		if len(ends) > 0 {
+			last = ends[len(ends)-1]
+		}
+		if last >= n-(parts-1-len(ends)) {
+			break
+		}
+		ends = append(ends, last+1)
+	}
+	ends = append(ends, n)
+	return Boundaries{Size: n, Ends: ends}
+}
+
+// Uniform splits [0, size) into parts equal-width ranges regardless of load
+// (the ablation baseline).
+func Uniform(size, parts int) Boundaries {
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > size {
+		parts = size
+	}
+	ends := make([]int, parts)
+	for p := 0; p < parts; p++ {
+		ends[p] = size * (p + 1) / parts
+	}
+	return Boundaries{Size: size, Ends: ends}
+}
+
+// LoadStats summarizes how evenly a partitioning spreads the non-zeros.
+type LoadStats struct {
+	Loads []int64
+	Max   int64
+	Min   int64
+	Mean  float64
+	// Imbalance is Max/Mean; 1.0 is perfect balance.
+	Imbalance float64
+}
+
+// Stats computes per-partition loads for counts under b.
+func Stats(counts []int64, b Boundaries) LoadStats {
+	loads := make([]int64, b.NumPartitions())
+	for p := range loads {
+		lo, hi := b.Range(p)
+		for i := lo; i < hi; i++ {
+			loads[p] += counts[i]
+		}
+	}
+	st := LoadStats{Loads: loads, Min: loads[0], Max: loads[0]}
+	var total int64
+	for _, l := range loads {
+		total += l
+		if l > st.Max {
+			st.Max = l
+		}
+		if l < st.Min {
+			st.Min = l
+		}
+	}
+	st.Mean = float64(total) / float64(len(loads))
+	if st.Mean > 0 {
+		st.Imbalance = float64(st.Max) / st.Mean
+	} else {
+		st.Imbalance = 1
+	}
+	return st
+}

@@ -1,0 +1,140 @@
+package part
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestGreedyUniformLoad(t *testing.T) {
+	counts := make([]int64, 100)
+	for i := range counts {
+		counts[i] = 10
+	}
+	b := Greedy(counts, 4)
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := Stats(counts, b)
+	if st.Imbalance > 1.05 {
+		t.Fatalf("uniform counts should balance: %+v", st)
+	}
+}
+
+func TestGreedySkewedBeatsUniform(t *testing.T) {
+	// Heavy head: slice 0 holds half the mass.
+	counts := make([]int64, 64)
+	counts[0] = 1000
+	for i := 1; i < 64; i++ {
+		counts[i] = 16
+	}
+	g := Greedy(counts, 4)
+	u := Uniform(len(counts), 4)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	gs, us := Stats(counts, g), Stats(counts, u)
+	if gs.Imbalance >= us.Imbalance {
+		t.Fatalf("greedy imbalance %.3f not better than uniform %.3f", gs.Imbalance, us.Imbalance)
+	}
+}
+
+func TestGreedyEdgeCases(t *testing.T) {
+	// More partitions than slices.
+	b := Greedy([]int64{5, 5}, 10)
+	if b.NumPartitions() != 2 {
+		t.Fatalf("parts = %d, want 2", b.NumPartitions())
+	}
+	// Single partition.
+	b = Greedy([]int64{1, 2, 3}, 1)
+	if b.NumPartitions() != 1 || b.Ends[0] != 3 {
+		t.Fatalf("single partition = %+v", b)
+	}
+	// Zero counts everywhere.
+	b = Greedy(make([]int64, 8), 3)
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// parts < 1 clamps.
+	b = Greedy([]int64{1, 1}, 0)
+	if b.NumPartitions() != 1 {
+		t.Fatalf("clamped parts = %d", b.NumPartitions())
+	}
+}
+
+func TestPartitionOfAndRange(t *testing.T) {
+	b := Boundaries{Size: 10, Ends: []int{3, 7, 10}}
+	cases := []struct{ idx, want int }{{0, 0}, {2, 0}, {3, 1}, {6, 1}, {7, 2}, {9, 2}}
+	for _, c := range cases {
+		if got := b.PartitionOf(c.idx); got != c.want {
+			t.Fatalf("PartitionOf(%d) = %d, want %d", c.idx, got, c.want)
+		}
+	}
+	lo, hi := b.Range(1)
+	if lo != 3 || hi != 7 {
+		t.Fatalf("Range(1) = [%d,%d)", lo, hi)
+	}
+}
+
+func TestValidateCatchesBadBoundaries(t *testing.T) {
+	bad := []Boundaries{
+		{Size: 5, Ends: nil},
+		{Size: 5, Ends: []int{3, 2, 5}},
+		{Size: 5, Ends: []int{3}},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+// Property: Greedy always yields valid boundaries covering every slice
+// exactly once, and PartitionOf is consistent with Range.
+func TestGreedyProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^7))
+		n := 1 + int(seed%200)
+		counts := make([]int64, n)
+		for i := range counts {
+			// Zipf-ish skew.
+			counts[i] = int64(rng.IntN(100)) * int64(rng.IntN(10))
+		}
+		parts := 1 + int((seed>>8)%16)
+		b := Greedy(counts, parts)
+		if b.Validate() != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			p := b.PartitionOf(i)
+			lo, hi := b.Range(p)
+			if i < lo || i >= hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformProperty(t *testing.T) {
+	f := func(size, parts uint16) bool {
+		s := 1 + int(size%1000)
+		p := 1 + int(parts%32)
+		b := Uniform(s, p)
+		return b.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsAllZero(t *testing.T) {
+	b := Uniform(4, 2)
+	st := Stats(make([]int64, 4), b)
+	if st.Imbalance != 1 {
+		t.Fatalf("zero-load imbalance = %v, want 1", st.Imbalance)
+	}
+}

@@ -1,0 +1,52 @@
+package rdd
+
+import "sync"
+
+// Accumulator is a write-only-from-tasks, read-on-driver aggregation
+// variable, mirroring Spark accumulators. Tasks call Add concurrently; the
+// driver reads Value after the stage completes. Because failed tasks are
+// retried from lineage, callers that need exactly-once semantics should add
+// only from the final (successful) code path of a task, as in Spark.
+type Accumulator[T any] struct {
+	mu    sync.Mutex
+	value T
+	merge func(T, T) T
+}
+
+// NewAccumulator creates an accumulator with the given zero value and merge
+// function.
+func NewAccumulator[T any](zero T, merge func(T, T) T) *Accumulator[T] {
+	return &Accumulator[T]{value: zero, merge: merge}
+}
+
+// NewFloatAccumulator sums float64 contributions.
+func NewFloatAccumulator() *Accumulator[float64] {
+	return NewAccumulator(0, func(a, b float64) float64 { return a + b })
+}
+
+// NewIntAccumulator sums int64 contributions.
+func NewIntAccumulator() *Accumulator[int64] {
+	return NewAccumulator(0, func(a, b int64) int64 { return a + b })
+}
+
+// Add merges v into the accumulator; safe for concurrent use from tasks.
+func (a *Accumulator[T]) Add(v T) {
+	a.mu.Lock()
+	a.value = a.merge(a.value, v)
+	a.mu.Unlock()
+}
+
+// Value returns the current aggregate. Call from the driver after the
+// stages writing to the accumulator have completed.
+func (a *Accumulator[T]) Value() T {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.value
+}
+
+// Reset restores the accumulator to v.
+func (a *Accumulator[T]) Reset(v T) {
+	a.mu.Lock()
+	a.value = v
+	a.mu.Unlock()
+}

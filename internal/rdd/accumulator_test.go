@@ -1,0 +1,62 @@
+package rdd
+
+import (
+	"testing"
+)
+
+func TestFloatAccumulator(t *testing.T) {
+	c := testCluster(t, Config{Machines: 3})
+	acc := NewFloatAccumulator()
+	r := Parallelize(c, "nums", ints(100), 5)
+	err := r.ForeachPartition(func(tc *TaskCtx, p int, items []int) error {
+		var s float64
+		for _, v := range items {
+			s += float64(v)
+		}
+		acc.Add(s)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := acc.Value(); got != 4950 {
+		t.Fatalf("accumulated %v, want 4950", got)
+	}
+	acc.Reset(0)
+	if acc.Value() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestIntAccumulatorConcurrent(t *testing.T) {
+	c := testCluster(t, Config{Machines: 4, CoresPerMachine: 4})
+	acc := NewIntAccumulator()
+	r := Parallelize(c, "nums", ints(1000), 16)
+	err := r.ForeachPartition(func(tc *TaskCtx, p int, items []int) error {
+		for range items {
+			acc.Add(1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Value() != 1000 {
+		t.Fatalf("count = %d", acc.Value())
+	}
+}
+
+func TestCustomAccumulator(t *testing.T) {
+	maxAcc := NewAccumulator(-1<<62, func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+	maxAcc.Add(5)
+	maxAcc.Add(3)
+	maxAcc.Add(9)
+	if maxAcc.Value() != 9 {
+		t.Fatalf("max = %d", maxAcc.Value())
+	}
+}

@@ -1,0 +1,48 @@
+package rdd
+
+import "fmt"
+
+// Broadcast is a read-only value shipped once to every machine, the engine's
+// equivalent of Spark broadcast variables. The paper broadcasts the R×R
+// Gram matrices and the diagonalized Laplacian spectra this way (§III-B,
+// §III-F); the per-machine copy cost is what Lemma 2's O(M·N·R²) term counts.
+type Broadcast[T any] struct {
+	c     *Cluster
+	value T
+	bytes int64 // size charged per machine
+	freed bool
+}
+
+// NewBroadcast registers value on every machine: its serialized size is
+// charged to each machine's memory budget and counted as broadcast traffic
+// for every machine except the driver-local copy.
+func NewBroadcast[T any](c *Cluster, name string, value T) (*Broadcast[T], error) {
+	size := EstimateSize(value)
+	for m := 0; m < c.cfg.Machines; m++ {
+		if err := c.charge(m, size); err != nil {
+			for freed := 0; freed < m; freed++ {
+				c.release(freed, size)
+			}
+			return nil, fmt.Errorf("rdd: broadcasting %s: %w", name, err)
+		}
+	}
+	c.metrics.BytesBroadcast.Add(size * int64(c.cfg.Machines))
+	return &Broadcast[T]{c: c, value: value, bytes: size}, nil
+}
+
+// Value returns the broadcast value (shared, read-only by convention).
+func (b *Broadcast[T]) Value() T { return b.value }
+
+// SizeBytes returns the per-machine charged size.
+func (b *Broadcast[T]) SizeBytes() int64 { return b.bytes }
+
+// Release frees the per-machine memory charges. Safe to call twice.
+func (b *Broadcast[T]) Release() {
+	if b.freed {
+		return
+	}
+	b.freed = true
+	for m := 0; m < b.c.cfg.Machines; m++ {
+		b.c.release(m, b.bytes)
+	}
+}

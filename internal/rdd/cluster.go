@@ -1,0 +1,472 @@
+// Package rdd is an in-process, Spark-like distributed dataflow engine: the
+// substrate this reproduction runs DisTenC and its baselines on in place of a
+// real Spark cluster.
+//
+// The engine provides lazy, lineage-backed resilient distributed datasets
+// with narrow transformations (Map, Filter, FlatMap, MapPartitions), wide
+// shuffle transformations on key-value RDDs (ReduceByKey, AggregateByKey,
+// GroupByKey, Join, CoGroup, PartitionBy), broadcast variables, explicit
+// caching, and actions (Collect, Count, Reduce).
+//
+// What makes it a useful experimental substrate rather than a toy:
+//
+//   - Machines are simulated: partitions have stable placement on M logical
+//     machines, each with a worker pool of CoresPerMachine goroutines, so
+//     machine-scalability experiments measure real parallel speedup.
+//   - Every machine has a memory budget. Cached partitions and declared
+//     transient allocations are charged against it; exceeding the budget
+//     fails the job with ErrOutOfMemory — reproducing the O.O.M. frontier of
+//     the paper's Figure 3.
+//   - Shuffled and broadcast data is really serialized (encoding/gob), so the
+//     engine reports honest byte counts for the paper's Lemma 3 accounting.
+//   - ModeMapReduce spills every shuffle through the filesystem and disables
+//     in-memory caching (forcing lineage recomputation each stage), which is
+//     exactly the Hadoop penalty the paper attributes SCouT's and
+//     FlexiFact's slowness to.
+//   - Tasks that fail with a retryable error (fault injection, used in
+//     tests) are re-run on another machine from lineage, like Spark's task
+//     retry.
+package rdd
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode selects the execution backend the engine models.
+type Mode int
+
+const (
+	// ModeInMemory is Spark-like: shuffles stay in memory, caching works.
+	ModeInMemory Mode = iota
+	// ModeMapReduce is Hadoop-like: shuffles spill to disk and Cache is a
+	// no-op, so every stage recomputes its lineage.
+	ModeMapReduce
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeInMemory:
+		return "spark"
+	case ModeMapReduce:
+		return "mapreduce"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config describes the simulated cluster.
+type Config struct {
+	// Machines is the number of simulated machines (default 4).
+	Machines int
+	// CoresPerMachine is the worker-pool width per machine (default 2).
+	CoresPerMachine int
+	// MemoryPerMachine is the per-machine memory budget in bytes charged by
+	// cached partitions, broadcasts and declared transient allocations.
+	// Zero means unlimited.
+	MemoryPerMachine int64
+	// Mode selects Spark-like or MapReduce-like execution.
+	Mode Mode
+	// DiskDir is where ModeMapReduce spills shuffle data. Empty uses a
+	// temporary directory owned by the cluster.
+	DiskDir string
+	// DiskLatencyPerMB adds modeled disk/HDFS latency per spilled megabyte
+	// (both write and read) in ModeMapReduce. Zero adds none beyond the real
+	// file I/O.
+	DiskLatencyPerMB time.Duration
+	// SerializeTasks runs at most one task at a time across the whole
+	// cluster so per-task durations are true single-core costs. Combined
+	// with SimulatedTime this yields honest machine-scalability curves on
+	// hosts with fewer cores than simulated machines.
+	SerializeTasks bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Machines <= 0 {
+		c.Machines = 4
+	}
+	if c.CoresPerMachine <= 0 {
+		c.CoresPerMachine = 2
+	}
+	return c
+}
+
+// ErrOutOfMemory is returned (wrapped) when a machine's memory budget is
+// exceeded. Callers detect it with errors.Is.
+var ErrOutOfMemory = errors.New("rdd: machine out of memory")
+
+// errRetryable marks injected task failures that the scheduler should retry
+// on another machine.
+var errRetryable = errors.New("rdd: retryable task failure")
+
+// Metrics aggregates engine counters for the experiment harness.
+type Metrics struct {
+	BytesShuffled  atomic.Int64
+	BytesBroadcast atomic.Int64
+	DiskBytesRead  atomic.Int64
+	DiskBytesWrite atomic.Int64
+	TasksRun       atomic.Int64
+	TaskRetries    atomic.Int64
+	Stages         atomic.Int64
+}
+
+// Snapshot returns a plain-struct copy for reporting.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		BytesShuffled:  m.BytesShuffled.Load(),
+		BytesBroadcast: m.BytesBroadcast.Load(),
+		DiskBytesRead:  m.DiskBytesRead.Load(),
+		DiskBytesWrite: m.DiskBytesWrite.Load(),
+		TasksRun:       m.TasksRun.Load(),
+		TaskRetries:    m.TaskRetries.Load(),
+		Stages:         m.Stages.Load(),
+	}
+}
+
+// MetricsSnapshot is a point-in-time copy of Metrics.
+type MetricsSnapshot struct {
+	BytesShuffled  int64
+	BytesBroadcast int64
+	DiskBytesRead  int64
+	DiskBytesWrite int64
+	TasksRun       int64
+	TaskRetries    int64
+	Stages         int64
+}
+
+// Sub returns m - o field-wise (for per-phase deltas).
+func (m MetricsSnapshot) Sub(o MetricsSnapshot) MetricsSnapshot {
+	return MetricsSnapshot{
+		BytesShuffled:  m.BytesShuffled - o.BytesShuffled,
+		BytesBroadcast: m.BytesBroadcast - o.BytesBroadcast,
+		DiskBytesRead:  m.DiskBytesRead - o.DiskBytesRead,
+		DiskBytesWrite: m.DiskBytesWrite - o.DiskBytesWrite,
+		TasksRun:       m.TasksRun - o.TasksRun,
+		TaskRetries:    m.TaskRetries - o.TaskRetries,
+		Stages:         m.Stages - o.Stages,
+	}
+}
+
+type machine struct {
+	id   int
+	sem  chan struct{} // CoresPerMachine slots
+	mu   sync.Mutex
+	used int64
+	peak int64
+}
+
+// Cluster is the simulated cluster: the driver plus M machines.
+type Cluster struct {
+	cfg      Config
+	machines []*machine
+	metrics  Metrics
+
+	mu       sync.Mutex
+	nextID   int64
+	tmpDir   string
+	ownsTmp  bool
+	closed   bool
+	failOnce map[string]int // stage-name prefix -> remaining injected failures
+
+	serialMu sync.Mutex // held per task when SerializeTasks is set
+	simMu    sync.Mutex
+	simTime  time.Duration
+	stageLog []StageRecord
+}
+
+// StageRecord summarizes one executed stage for the StageLog.
+type StageRecord struct {
+	Name     string
+	Tasks    int
+	Wall     time.Duration
+	Critical time.Duration // per-machine busy-time critical path
+}
+
+// NewCluster builds a cluster from cfg.
+func NewCluster(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	c := &Cluster{cfg: cfg, failOnce: map[string]int{}}
+	for i := 0; i < cfg.Machines; i++ {
+		c.machines = append(c.machines, &machine{
+			id:  i,
+			sem: make(chan struct{}, cfg.CoresPerMachine),
+		})
+	}
+	if cfg.Mode == ModeMapReduce {
+		dir := cfg.DiskDir
+		if dir == "" {
+			var err error
+			dir, err = os.MkdirTemp("", "distenc-shuffle-")
+			if err != nil {
+				return nil, fmt.Errorf("rdd: creating shuffle dir: %w", err)
+			}
+			c.ownsTmp = true
+		}
+		c.tmpDir = dir
+	}
+	return c, nil
+}
+
+// MustNewCluster is NewCluster panicking on error, for tests and examples.
+func MustNewCluster(cfg Config) *Cluster {
+	c, err := NewCluster(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Close releases the cluster's on-disk shuffle space.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.ownsTmp && c.tmpDir != "" {
+		return os.RemoveAll(c.tmpDir)
+	}
+	return nil
+}
+
+// Config returns the (defaulted) configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Machines returns the simulated machine count.
+func (c *Cluster) Machines() int { return c.cfg.Machines }
+
+// Metrics exposes the engine counters.
+func (c *Cluster) Metrics() *Metrics { return &c.metrics }
+
+// PeakMemory returns the maximum bytes ever charged to machine m.
+func (c *Cluster) PeakMemory(m int) int64 {
+	mm := c.machines[m]
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	return mm.peak
+}
+
+// MaxPeakMemory returns the largest per-machine peak.
+func (c *Cluster) MaxPeakMemory() int64 {
+	var mx int64
+	for i := range c.machines {
+		if p := c.PeakMemory(i); p > mx {
+			mx = p
+		}
+	}
+	return mx
+}
+
+// UsedMemory returns the bytes currently charged to machine m.
+func (c *Cluster) UsedMemory(m int) int64 {
+	mm := c.machines[m]
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	return mm.used
+}
+
+func (c *Cluster) newID() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	return c.nextID
+}
+
+// charge reserves bytes on machine m, failing with ErrOutOfMemory if the
+// budget would be exceeded.
+func (c *Cluster) charge(m int, bytes int64) error {
+	if bytes < 0 {
+		panic("rdd: negative charge")
+	}
+	mm := c.machines[m]
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	if c.cfg.MemoryPerMachine > 0 && mm.used+bytes > c.cfg.MemoryPerMachine {
+		return fmt.Errorf("rdd: machine %d needs %d bytes over budget %d (used %d): %w",
+			m, bytes, c.cfg.MemoryPerMachine, mm.used, ErrOutOfMemory)
+	}
+	mm.used += bytes
+	if mm.used > mm.peak {
+		mm.peak = mm.used
+	}
+	return nil
+}
+
+func (c *Cluster) release(m int, bytes int64) {
+	mm := c.machines[m]
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	mm.used -= bytes
+	if mm.used < 0 {
+		mm.used = 0
+	}
+}
+
+// SimulatedTime returns the accumulated critical-path execution time of all
+// stages run so far: per stage, the maximum over machines of that machine's
+// total task time divided by its core count. On a host with fewer physical
+// cores than simulated machines (where real wall-clock cannot show parallel
+// speedup) this is the honest scalability measure — use it together with
+// Config.SerializeTasks so the per-task durations are uncontended.
+func (c *Cluster) SimulatedTime() time.Duration {
+	c.simMu.Lock()
+	defer c.simMu.Unlock()
+	return c.simTime
+}
+
+// Charge reserves bytes on machine m for an algorithm-declared allocation
+// (e.g. a baseline's dense intermediate that a real run would materialize).
+// The caller must Release it. Returns ErrOutOfMemory (wrapped) over budget.
+func (c *Cluster) Charge(m int, bytes int64) error { return c.charge(m, bytes) }
+
+// Release returns bytes previously reserved with Charge on machine m.
+func (c *Cluster) Release(m int, bytes int64) { c.release(m, bytes) }
+
+// InjectTaskFailures makes the next n tasks of stages whose name starts with
+// stagePrefix fail with a retryable error — the fault-injection hook used to
+// exercise lineage-based recovery.
+func (c *Cluster) InjectTaskFailures(stagePrefix string, n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.failOnce[stagePrefix] = n
+}
+
+func (c *Cluster) shouldFail(stage string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for prefix, n := range c.failOnce {
+		if n > 0 && len(stage) >= len(prefix) && stage[:len(prefix)] == prefix {
+			c.failOnce[prefix] = n - 1
+			return true
+		}
+	}
+	return false
+}
+
+// TaskCtx is handed to every task; it identifies the machine the task runs on
+// and lets the task declare transient memory it would allocate on a real
+// cluster (charged for the task's duration).
+type TaskCtx struct {
+	Machine int
+	c       *Cluster
+	charged int64
+}
+
+// ChargeTransient reserves task-scoped memory on the task's machine. It is
+// released automatically when the task finishes.
+func (tc *TaskCtx) ChargeTransient(bytes int64) error {
+	if err := tc.c.charge(tc.Machine, bytes); err != nil {
+		return err
+	}
+	tc.charged += bytes
+	return nil
+}
+
+// Cluster returns the cluster the task runs on.
+func (tc *TaskCtx) Cluster() *Cluster { return tc.c }
+
+const maxTaskRetries = 2
+
+// runStage executes parts tasks across the machines (partition p prefers
+// machine p mod M, like Spark preferred locations) and waits for all of them.
+// Tasks failing with errRetryable are re-run on the next machine, recomputing
+// from lineage; other errors abort the stage.
+func (c *Cluster) runStage(name string, parts int, task func(tc *TaskCtx, p int) error) error {
+	c.metrics.Stages.Add(1)
+	stageStart := time.Now()
+	busy := make([]time.Duration, c.cfg.Machines)
+	var busyMu sync.Mutex
+	var wg sync.WaitGroup
+	var firstErr error
+	var errMu sync.Mutex
+	setErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	abort := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return firstErr != nil
+	}
+
+	for p := 0; p < parts; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for attempt := 0; ; attempt++ {
+				if abort() {
+					return
+				}
+				m := (p + attempt) % c.cfg.Machines
+				mm := c.machines[m]
+				mm.sem <- struct{}{}
+				if c.cfg.SerializeTasks {
+					c.serialMu.Lock()
+				}
+				tc := &TaskCtx{Machine: m, c: c}
+				taskStart := time.Now()
+				var err error
+				if c.shouldFail(name) {
+					err = fmt.Errorf("rdd: injected failure in stage %q task %d on machine %d: %w", name, p, m, errRetryable)
+				} else {
+					err = task(tc, p)
+				}
+				dur := time.Since(taskStart)
+				if c.cfg.SerializeTasks {
+					c.serialMu.Unlock()
+				}
+				busyMu.Lock()
+				busy[m] += dur
+				busyMu.Unlock()
+				if tc.charged > 0 {
+					c.release(m, tc.charged)
+				}
+				<-mm.sem
+				c.metrics.TasksRun.Add(1)
+				if err == nil {
+					return
+				}
+				if errors.Is(err, errRetryable) && attempt < maxTaskRetries {
+					c.metrics.TaskRetries.Add(1)
+					continue
+				}
+				setErr(err)
+				return
+			}
+		}(p)
+	}
+	wg.Wait()
+	// Critical-path accounting: the stage is as slow as its busiest machine.
+	var critical time.Duration
+	for _, b := range busy {
+		perCore := b / time.Duration(c.cfg.CoresPerMachine)
+		if perCore > critical {
+			critical = perCore
+		}
+	}
+	c.simMu.Lock()
+	c.simTime += critical
+	c.stageLog = append(c.stageLog, StageRecord{
+		Name:     name,
+		Tasks:    parts,
+		Wall:     time.Since(stageStart),
+		Critical: critical,
+	})
+	c.simMu.Unlock()
+	return firstErr
+}
+
+// StageLog returns a copy of the per-stage execution records, in order.
+func (c *Cluster) StageLog() []StageRecord {
+	c.simMu.Lock()
+	defer c.simMu.Unlock()
+	return append([]StageRecord(nil), c.stageLog...)
+}

@@ -1,0 +1,137 @@
+package rdd
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+)
+
+// Union concatenates two RDDs of the same element type; the result has the
+// partitions of a followed by those of b (no shuffle, like Spark's union).
+func Union[T any](a, b *RDD[T], name string) *RDD[T] {
+	if a.c != b.c {
+		panic("rdd: Union across clusters")
+	}
+	deps := append(append([]dep(nil), a.deps...), b.deps...)
+	return &RDD[T]{
+		c:     a.c,
+		name:  name,
+		parts: a.parts + b.parts,
+		deps:  deps,
+		compute: func(tc *TaskCtx, p int) ([]T, error) {
+			if p < a.parts {
+				return a.computePartition(tc, p)
+			}
+			return b.computePartition(tc, p-a.parts)
+		},
+	}
+}
+
+// Distinct removes duplicate elements (comparable types), shuffling by value
+// so each survivor appears exactly once across partitions.
+func Distinct[T comparable](r *RDD[T], name string, parts int) *RDD[T] {
+	keyed := Map(r, name+":key", func(v T) KV[T, struct{}] { return KV[T, struct{}]{v, struct{}{}} })
+	reduced := ReduceByKey(keyed, name, parts, func(a, b struct{}) struct{} { return a })
+	return Keys(reduced, name+":values")
+}
+
+// Keys projects a pair RDD onto its keys.
+func Keys[K comparable, V any](r *RDD[KV[K, V]], name string) *RDD[K] {
+	return Map(r, name, func(kv KV[K, V]) K { return kv.K })
+}
+
+// Values projects a pair RDD onto its values.
+func Values[K comparable, V any](r *RDD[KV[K, V]], name string) *RDD[V] {
+	return Map(r, name, func(kv KV[K, V]) V { return kv.V })
+}
+
+// CountByKey counts occurrences per key and collects the result on the
+// driver.
+func CountByKey[K comparable, V any](r *RDD[KV[K, V]], name string) (map[K]int64, error) {
+	ones := MapValues(r, name+":ones", func(V) int64 { return 1 })
+	counted := ReduceByKey(ones, name, r.parts, func(a, b int64) int64 { return a + b })
+	return CollectAsMap(counted)
+}
+
+// Sample keeps each element with probability frac, deterministically from
+// seed and the partition index (no shuffle).
+func Sample[T any](r *RDD[T], name string, frac float64, seed uint64) *RDD[T] {
+	return MapPartitions(r, name, func(tc *TaskCtx, p int, in []T) ([]T, error) {
+		rng := rand.New(rand.NewPCG(seed, uint64(p)))
+		var out []T
+		for _, v := range in {
+			if rng.Float64() < frac {
+				out = append(out, v)
+			}
+		}
+		return out, nil
+	})
+}
+
+// Checkpoint computes every partition now, persists it through the
+// filesystem, and returns an RDD that reads the checkpointed data — cutting
+// the lineage, as Spark's checkpointing does for long iterative jobs. The
+// written bytes are counted as disk traffic.
+func Checkpoint[T any](r *RDD[T], name string) (*RDD[T], error) {
+	if err := r.ensureDeps(); err != nil {
+		return nil, err
+	}
+	dir, err := r.c.checkpointDir()
+	if err != nil {
+		return nil, err
+	}
+	id := r.c.newID()
+	paths := make([]string, r.parts)
+	err = r.c.runStage("checkpoint:"+name, r.parts, func(tc *TaskCtx, p int) error {
+		items, err := r.computePartition(tc, p)
+		if err != nil {
+			return err
+		}
+		data, err := encodeBlock(items)
+		if err != nil {
+			return fmt.Errorf("rdd: encoding checkpoint: %w", err)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("ckpt%d-p%d.blk", id, p))
+		if err := os.WriteFile(path, data, 0o600); err != nil {
+			return fmt.Errorf("rdd: writing checkpoint: %w", err)
+		}
+		r.c.metrics.DiskBytesWrite.Add(int64(len(data)))
+		paths[p] = path
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &RDD[T]{
+		c:     r.c,
+		name:  name,
+		parts: r.parts,
+		compute: func(tc *TaskCtx, p int) ([]T, error) {
+			data, err := os.ReadFile(paths[p])
+			if err != nil {
+				return nil, fmt.Errorf("rdd: reading checkpoint: %w", err)
+			}
+			tc.c.metrics.DiskBytesRead.Add(int64(len(data)))
+			return decodeBlock[T](data)
+		},
+	}, nil
+}
+
+// checkpointDir returns (creating lazily) the cluster's on-disk scratch
+// space, which exists in ModeMapReduce already and is created on demand for
+// in-memory clusters that checkpoint.
+func (c *Cluster) checkpointDir() (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.tmpDir != "" {
+		return c.tmpDir, nil
+	}
+	dir, err := os.MkdirTemp("", "distenc-ckpt-")
+	if err != nil {
+		return "", fmt.Errorf("rdd: creating checkpoint dir: %w", err)
+	}
+	c.tmpDir = dir
+	c.ownsTmp = true
+	return dir, nil
+}

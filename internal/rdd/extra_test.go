@@ -1,0 +1,274 @@
+package rdd
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestUnion(t *testing.T) {
+	c := testCluster(t, Config{})
+	a := Parallelize(c, "a", []int{1, 2, 3}, 2)
+	b := Parallelize(c, "b", []int{4, 5}, 1)
+	u := Union(a, b, "u")
+	if u.NumPartitions() != 3 {
+		t.Fatalf("parts = %d", u.NumPartitions())
+	}
+	got, err := u.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 || got[0] != 1 || got[4] != 5 {
+		t.Fatalf("Union = %v", got)
+	}
+}
+
+func TestUnionAfterShuffle(t *testing.T) {
+	// Union must propagate both sides' shuffle dependencies.
+	c := testCluster(t, Config{Machines: 2, CoresPerMachine: 1})
+	pairs := Parallelize(c, "p", []KV[int, int]{{1, 1}, {1, 2}, {2, 3}}, 2)
+	red := ReduceByKey(pairs, "r", 2, func(a, b int) int { return a + b })
+	plain := Parallelize(c, "q", []KV[int, int]{{9, 9}}, 1)
+	u := Union(red, plain, "u2")
+	got, err := u.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("Union after shuffle = %v", got)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	c := testCluster(t, Config{})
+	r := Parallelize(c, "dups", []int{3, 1, 3, 2, 1, 1}, 3)
+	d := Distinct(r, "distinct", 2)
+	got, err := d.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Ints(got)
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("Distinct = %v", got)
+	}
+}
+
+func TestKeysValues(t *testing.T) {
+	c := testCluster(t, Config{})
+	r := Parallelize(c, "p", []KV[string, int]{{"a", 1}, {"b", 2}}, 1)
+	ks, err := Keys(r, "k").Collect()
+	if err != nil || len(ks) != 2 {
+		t.Fatalf("Keys = %v, %v", ks, err)
+	}
+	vs, err := Values(r, "v").Collect()
+	if err != nil || vs[0]+vs[1] != 3 {
+		t.Fatalf("Values = %v, %v", vs, err)
+	}
+}
+
+func TestCountByKey(t *testing.T) {
+	c := testCluster(t, Config{})
+	var data []KV[int, string]
+	for i := 0; i < 30; i++ {
+		data = append(data, KV[int, string]{i % 3, "x"})
+	}
+	r := Parallelize(c, "p", data, 4)
+	counts, err := CountByKey(r, "cbk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3; k++ {
+		if counts[k] != 10 {
+			t.Fatalf("count[%d] = %d", k, counts[k])
+		}
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	c := testCluster(t, Config{})
+	r := Parallelize(c, "p", ints(1000), 4)
+	s1, err := Sample(r, "s", 0.3, 7).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Sample(r, "s", 0.3, 7).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1) != len(s2) {
+		t.Fatalf("sample not deterministic: %d vs %d", len(s1), len(s2))
+	}
+	if len(s1) < 200 || len(s1) > 400 {
+		t.Fatalf("sample size %d far from 300", len(s1))
+	}
+	s3, err := Sample(r, "s", 0.3, 8).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s3) == len(s1) && equalInts(s1, s3) {
+		t.Fatal("different seeds gave identical samples")
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCheckpointCutsLineage(t *testing.T) {
+	c := testCluster(t, Config{})
+	computes := make(chan struct{}, 100)
+	r := Parallelize(c, "src", ints(20), 2)
+	traced := MapPartitions(r, "traced", func(tc *TaskCtx, p int, in []int) ([]int, error) {
+		computes <- struct{}{}
+		return in, nil
+	})
+	ck, err := Checkpoint(traced, "ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(computes); n != 2 {
+		t.Fatalf("checkpoint computed %d partitions, want 2", n)
+	}
+	// Reading the checkpoint must not recompute the lineage.
+	for i := 0; i < 3; i++ {
+		got, err := ck.Collect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 20 {
+			t.Fatalf("collected %d", len(got))
+		}
+	}
+	if n := len(computes); n != 2 {
+		t.Fatalf("lineage recomputed after checkpoint: %d computes", n)
+	}
+	if c.Metrics().DiskBytesWrite.Load() == 0 || c.Metrics().DiskBytesRead.Load() == 0 {
+		t.Fatal("checkpoint did not touch disk")
+	}
+}
+
+func TestCheckpointAfterShuffle(t *testing.T) {
+	c := testCluster(t, Config{})
+	pairs := Parallelize(c, "p", []KV[int, int]{{1, 1}, {2, 2}, {1, 3}}, 2)
+	red := ReduceByKey(pairs, "r", 2, func(a, b int) int { return a + b })
+	ck, err := Checkpoint(red, "ckr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CollectAsMap(ck)
+	if err != nil || got[1] != 4 || got[2] != 2 {
+		t.Fatalf("checkpointed shuffle = %v, %v", got, err)
+	}
+}
+
+func TestStageLog(t *testing.T) {
+	c := testCluster(t, Config{})
+	r := Parallelize(c, "log", ints(10), 3)
+	if _, err := r.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	log := c.StageLog()
+	if len(log) != 1 {
+		t.Fatalf("stage log = %v", log)
+	}
+	if log[0].Name != "collect:log" || log[0].Tasks != 3 {
+		t.Fatalf("record = %+v", log[0])
+	}
+	if log[0].Wall <= 0 {
+		t.Fatal("wall time not recorded")
+	}
+}
+
+func TestSimulatedTimeAccumulates(t *testing.T) {
+	c := testCluster(t, Config{Machines: 2, SerializeTasks: true})
+	r := Parallelize(c, "sim", ints(100), 4)
+	heavy := MapPartitions(r, "work", func(tc *TaskCtx, p int, in []int) ([]int, error) {
+		s := 0
+		for i := 0; i < 2_000_000; i++ {
+			s += i
+		}
+		_ = s
+		return in, nil
+	})
+	if _, err := heavy.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	if c.SimulatedTime() <= 0 {
+		t.Fatal("simulated time not accumulated")
+	}
+}
+
+func TestSortByKeyGloballySorts(t *testing.T) {
+	c := testCluster(t, Config{Machines: 3})
+	rng := []int{42, 7, 99, 13, 0, 55, 21, 88, 3, 67, 31, 76, 11, 59, 24}
+	var data []KV[int, string]
+	for _, k := range rng {
+		data = append(data, KV[int, string]{k, "v"})
+	}
+	r := Parallelize(c, "unsorted", data, 4)
+	sorted, err := SortByKey(r, "sorted", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sorted.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(data) {
+		t.Fatalf("lost records: %d vs %d", len(got), len(data))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].K < got[i-1].K {
+			t.Fatalf("not sorted at %d: %v", i, got)
+		}
+	}
+}
+
+func TestSortByKeyLargeRandom(t *testing.T) {
+	c := testCluster(t, Config{Machines: 4})
+	var data []KV[float64, int]
+	state := uint64(12345)
+	for i := 0; i < 5000; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		data = append(data, KV[float64, int]{float64(state % 100000), i})
+	}
+	r := Parallelize(c, "big", data, 8)
+	sorted, err := SortByKey(r, "bigsorted", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sorted.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5000 {
+		t.Fatalf("lost records: %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].K < got[i-1].K {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+}
+
+func TestRangePartitionerBounds(t *testing.T) {
+	pt := NewRangePartitioner([]int{10, 20, 30, 40}, 2)
+	if p := pt.Partition(5, 2); p != 0 {
+		t.Fatalf("Partition(5) = %d", p)
+	}
+	if p := pt.Partition(100, 2); p != 1 {
+		t.Fatalf("Partition(100) = %d", p)
+	}
+	// Empty sample: everything lands in partition 0.
+	empty := NewRangePartitioner[int](nil, 4)
+	if empty.Partition(7, 4) != 0 {
+		t.Fatal("empty-sample partitioner must default to 0")
+	}
+}

@@ -1,0 +1,365 @@
+package rdd
+
+import (
+	"hash/maphash"
+)
+
+// KV is a key-value record; the element type of pair RDDs.
+type KV[K comparable, V any] struct {
+	K K
+	V V
+}
+
+// Partitioner assigns keys to reduce partitions. Implementations must be
+// deterministic for a fixed parts.
+type Partitioner[K comparable] interface {
+	Partition(k K, parts int) int
+}
+
+var hashSeed = maphash.MakeSeed()
+
+// HashPartitioner is the default partitioner, hashing the key.
+type HashPartitioner[K comparable] struct{}
+
+// Partition implements Partitioner.
+func (HashPartitioner[K]) Partition(k K, parts int) int {
+	return int(maphash.Comparable(hashSeed, k) % uint64(parts))
+}
+
+// FuncPartitioner adapts a function to the Partitioner interface (the tensor
+// block partitioner built from Algorithm 2 boundaries uses this).
+type FuncPartitioner[K comparable] func(k K, parts int) int
+
+// Partition implements Partitioner.
+func (f FuncPartitioner[K]) Partition(k K, parts int) int { return f(k, parts) }
+
+// ReduceByKey merges all values per key with combine, using map-side
+// combining before the shuffle (the paper's §III-F notes replacing
+// groupByKey with reduceByKey/combineByKey precisely for this).
+func ReduceByKey[K comparable, V any](r *RDD[KV[K, V]], name string, parts int, combine func(V, V) V) *RDD[KV[K, V]] {
+	return reduceByKeyWith(r, name, parts, HashPartitioner[K]{}, combine)
+}
+
+// ReduceByKeyPartitioned is ReduceByKey with an explicit partitioner.
+func ReduceByKeyPartitioned[K comparable, V any](r *RDD[KV[K, V]], name string, parts int, pt Partitioner[K], combine func(V, V) V) *RDD[KV[K, V]] {
+	return reduceByKeyWith(r, name, parts, pt, combine)
+}
+
+func reduceByKeyWith[K comparable, V any](r *RDD[KV[K, V]], name string, parts int, pt Partitioner[K], combine func(V, V) V) *RDD[KV[K, V]] {
+	if parts <= 0 {
+		parts = r.parts
+	}
+	ex := newExchange(r.c, name, r.deps, r.parts, parts, func(tc *TaskCtx, mapPart int) ([][]KV[K, V], error) {
+		in, err := r.computePartition(tc, mapPart)
+		if err != nil {
+			return nil, err
+		}
+		combined := make([]map[K]V, parts)
+		for _, kv := range in {
+			rp := pt.Partition(kv.K, parts)
+			m := combined[rp]
+			if m == nil {
+				m = make(map[K]V)
+				combined[rp] = m
+			}
+			if old, ok := m[kv.K]; ok {
+				m[kv.K] = combine(old, kv.V)
+			} else {
+				m[kv.K] = kv.V
+			}
+		}
+		out := make([][]KV[K, V], parts)
+		for rp, m := range combined {
+			if m == nil {
+				continue
+			}
+			bucket := make([]KV[K, V], 0, len(m))
+			for k, v := range m {
+				bucket = append(bucket, KV[K, V]{k, v})
+			}
+			out[rp] = bucket
+		}
+		return out, nil
+	})
+	return &RDD[KV[K, V]]{
+		c:     r.c,
+		name:  name,
+		parts: parts,
+		deps:  []dep{ex},
+		compute: func(tc *TaskCtx, p int) ([]KV[K, V], error) {
+			records, err := ex.fetch(p)
+			if err != nil {
+				return nil, err
+			}
+			m := make(map[K]V, len(records))
+			for _, kv := range records {
+				if old, ok := m[kv.K]; ok {
+					m[kv.K] = combine(old, kv.V)
+				} else {
+					m[kv.K] = kv.V
+				}
+			}
+			out := make([]KV[K, V], 0, len(m))
+			for k, v := range m {
+				out = append(out, KV[K, V]{k, v})
+			}
+			return out, nil
+		},
+	}
+}
+
+// AggregateByKey folds values into per-key accumulators: zero() seeds, seq
+// folds a value in (map side), comb merges accumulators (reduce side).
+func AggregateByKey[K comparable, V, A any](r *RDD[KV[K, V]], name string, parts int,
+	zero func() A, seq func(A, V) A, comb func(A, A) A) *RDD[KV[K, A]] {
+	if parts <= 0 {
+		parts = r.parts
+	}
+	pt := HashPartitioner[K]{}
+	ex := newExchange(r.c, name, r.deps, r.parts, parts, func(tc *TaskCtx, mapPart int) ([][]KV[K, A], error) {
+		in, err := r.computePartition(tc, mapPart)
+		if err != nil {
+			return nil, err
+		}
+		combined := make([]map[K]A, parts)
+		for _, kv := range in {
+			rp := pt.Partition(kv.K, parts)
+			m := combined[rp]
+			if m == nil {
+				m = make(map[K]A)
+				combined[rp] = m
+			}
+			acc, ok := m[kv.K]
+			if !ok {
+				acc = zero()
+			}
+			m[kv.K] = seq(acc, kv.V)
+		}
+		out := make([][]KV[K, A], parts)
+		for rp, m := range combined {
+			if m == nil {
+				continue
+			}
+			bucket := make([]KV[K, A], 0, len(m))
+			for k, a := range m {
+				bucket = append(bucket, KV[K, A]{k, a})
+			}
+			out[rp] = bucket
+		}
+		return out, nil
+	})
+	return &RDD[KV[K, A]]{
+		c:     r.c,
+		name:  name,
+		parts: parts,
+		deps:  []dep{ex},
+		compute: func(tc *TaskCtx, p int) ([]KV[K, A], error) {
+			records, err := ex.fetch(p)
+			if err != nil {
+				return nil, err
+			}
+			m := make(map[K]A, len(records))
+			for _, kv := range records {
+				if old, ok := m[kv.K]; ok {
+					m[kv.K] = comb(old, kv.V)
+				} else {
+					m[kv.K] = kv.V
+				}
+			}
+			out := make([]KV[K, A], 0, len(m))
+			for k, a := range m {
+				out = append(out, KV[K, A]{k, a})
+			}
+			return out, nil
+		},
+	}
+}
+
+// GroupByKey gathers all values per key (no map-side combining — kept for
+// the ablation contrasting it with ReduceByKey, as §III-F discusses).
+func GroupByKey[K comparable, V any](r *RDD[KV[K, V]], name string, parts int) *RDD[KV[K, []V]] {
+	if parts <= 0 {
+		parts = r.parts
+	}
+	pt := HashPartitioner[K]{}
+	ex := newExchange(r.c, name, r.deps, r.parts, parts, func(tc *TaskCtx, mapPart int) ([][]KV[K, V], error) {
+		in, err := r.computePartition(tc, mapPart)
+		if err != nil {
+			return nil, err
+		}
+		out := make([][]KV[K, V], parts)
+		for _, kv := range in {
+			rp := pt.Partition(kv.K, parts)
+			out[rp] = append(out[rp], kv)
+		}
+		return out, nil
+	})
+	return &RDD[KV[K, []V]]{
+		c:     r.c,
+		name:  name,
+		parts: parts,
+		deps:  []dep{ex},
+		compute: func(tc *TaskCtx, p int) ([]KV[K, []V], error) {
+			records, err := ex.fetch(p)
+			if err != nil {
+				return nil, err
+			}
+			m := make(map[K][]V)
+			for _, kv := range records {
+				m[kv.K] = append(m[kv.K], kv.V)
+			}
+			out := make([]KV[K, []V], 0, len(m))
+			for k, vs := range m {
+				out = append(out, KV[K, []V]{k, vs})
+			}
+			return out, nil
+		},
+	}
+}
+
+// PartitionBy redistributes records so that partition p holds exactly the
+// keys pt maps to p. Records and duplicates are preserved.
+func PartitionBy[K comparable, V any](r *RDD[KV[K, V]], name string, parts int, pt Partitioner[K]) *RDD[KV[K, V]] {
+	if parts <= 0 {
+		parts = r.parts
+	}
+	ex := newExchange(r.c, name, r.deps, r.parts, parts, func(tc *TaskCtx, mapPart int) ([][]KV[K, V], error) {
+		in, err := r.computePartition(tc, mapPart)
+		if err != nil {
+			return nil, err
+		}
+		out := make([][]KV[K, V], parts)
+		for _, kv := range in {
+			rp := pt.Partition(kv.K, parts)
+			out[rp] = append(out[rp], kv)
+		}
+		return out, nil
+	})
+	return &RDD[KV[K, V]]{
+		c:     r.c,
+		name:  name,
+		parts: parts,
+		deps:  []dep{ex},
+		compute: func(tc *TaskCtx, p int) ([]KV[K, V], error) {
+			return ex.fetch(p)
+		},
+	}
+}
+
+// JoinedPair is the value type produced by Join.
+type JoinedPair[V, W any] struct {
+	Left  V
+	Right W
+}
+
+// CoGrouped is the value type produced by CoGroup.
+type CoGrouped[V, W any] struct {
+	Left  []V
+	Right []W
+}
+
+// CoGroup co-locates both RDDs by key and gathers each side's values.
+func CoGroup[K comparable, V, W any](a *RDD[KV[K, V]], b *RDD[KV[K, W]], name string, parts int) *RDD[KV[K, CoGrouped[V, W]]] {
+	if parts <= 0 {
+		parts = a.parts
+	}
+	pt := HashPartitioner[K]{}
+	exA := newExchange(a.c, name+":left", a.deps, a.parts, parts, func(tc *TaskCtx, mapPart int) ([][]KV[K, V], error) {
+		in, err := a.computePartition(tc, mapPart)
+		if err != nil {
+			return nil, err
+		}
+		out := make([][]KV[K, V], parts)
+		for _, kv := range in {
+			rp := pt.Partition(kv.K, parts)
+			out[rp] = append(out[rp], kv)
+		}
+		return out, nil
+	})
+	exB := newExchange(b.c, name+":right", b.deps, b.parts, parts, func(tc *TaskCtx, mapPart int) ([][]KV[K, W], error) {
+		in, err := b.computePartition(tc, mapPart)
+		if err != nil {
+			return nil, err
+		}
+		out := make([][]KV[K, W], parts)
+		for _, kv := range in {
+			rp := pt.Partition(kv.K, parts)
+			out[rp] = append(out[rp], kv)
+		}
+		return out, nil
+	})
+	return &RDD[KV[K, CoGrouped[V, W]]]{
+		c:     a.c,
+		name:  name,
+		parts: parts,
+		deps:  []dep{exA, exB},
+		compute: func(tc *TaskCtx, p int) ([]KV[K, CoGrouped[V, W]], error) {
+			left, err := exA.fetch(p)
+			if err != nil {
+				return nil, err
+			}
+			right, err := exB.fetch(p)
+			if err != nil {
+				return nil, err
+			}
+			m := make(map[K]*CoGrouped[V, W])
+			for _, kv := range left {
+				g := m[kv.K]
+				if g == nil {
+					g = &CoGrouped[V, W]{}
+					m[kv.K] = g
+				}
+				g.Left = append(g.Left, kv.V)
+			}
+			for _, kv := range right {
+				g := m[kv.K]
+				if g == nil {
+					g = &CoGrouped[V, W]{}
+					m[kv.K] = g
+				}
+				g.Right = append(g.Right, kv.V)
+			}
+			out := make([]KV[K, CoGrouped[V, W]], 0, len(m))
+			for k, g := range m {
+				out = append(out, KV[K, CoGrouped[V, W]]{k, *g})
+			}
+			return out, nil
+		},
+	}
+}
+
+// Join returns the inner join of a and b: one output record per (left,right)
+// value pair sharing a key.
+func Join[K comparable, V, W any](a *RDD[KV[K, V]], b *RDD[KV[K, W]], name string, parts int) *RDD[KV[K, JoinedPair[V, W]]] {
+	cg := CoGroup(a, b, name, parts)
+	return FlatMap(cg, name+":pairs", func(kv KV[K, CoGrouped[V, W]]) []KV[K, JoinedPair[V, W]] {
+		var out []KV[K, JoinedPair[V, W]]
+		for _, l := range kv.V.Left {
+			for _, r := range kv.V.Right {
+				out = append(out, KV[K, JoinedPair[V, W]]{kv.K, JoinedPair[V, W]{l, r}})
+			}
+		}
+		return out
+	})
+}
+
+// MapValues applies f to every value, keeping keys and partitioning.
+func MapValues[K comparable, V, W any](r *RDD[KV[K, V]], name string, f func(V) W) *RDD[KV[K, W]] {
+	return Map(r, name, func(kv KV[K, V]) KV[K, W] {
+		return KV[K, W]{kv.K, f(kv.V)}
+	})
+}
+
+// CollectAsMap collects a pair RDD into a map on the driver. Later
+// occurrences of a duplicate key win, matching Spark.
+func CollectAsMap[K comparable, V any](r *RDD[KV[K, V]]) (map[K]V, error) {
+	items, err := r.Collect()
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[K]V, len(items))
+	for _, kv := range items {
+		m[kv.K] = kv.V
+	}
+	return m, nil
+}

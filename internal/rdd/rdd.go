@@ -1,0 +1,355 @@
+package rdd
+
+import (
+	"fmt"
+	"sync"
+)
+
+// dep is anything that must be materialized (on the driver, stage by stage)
+// before a downstream stage may compute partitions that read from it. Shuffle
+// exchanges are the only wide dependency; narrow chains propagate their
+// parents' deps.
+type dep interface {
+	ensure() error
+}
+
+// RDD is a lazy, partitioned, immutable dataset with lineage: computing a
+// partition re-runs the chain of transformations that defined it, exactly
+// like Spark's RDD abstraction the paper builds on (§III-F).
+type RDD[T any] struct {
+	c       *Cluster
+	name    string
+	parts   int
+	deps    []dep
+	compute func(tc *TaskCtx, p int) ([]T, error)
+
+	cacheMu sync.Mutex
+	cached  bool
+	cparts  []cachedPart[T]
+}
+
+type cachedPart[T any] struct {
+	mu      sync.Mutex
+	done    bool
+	items   []T
+	machine int
+	bytes   int64
+}
+
+// Parallelize distributes data over parts partitions (round-robin by block),
+// the engine's equivalent of sc.parallelize.
+func Parallelize[T any](c *Cluster, name string, data []T, parts int) *RDD[T] {
+	if parts <= 0 {
+		parts = c.cfg.Machines * c.cfg.CoresPerMachine
+	}
+	blocks := make([][]T, parts)
+	for p := range blocks {
+		lo := len(data) * p / parts
+		hi := len(data) * (p + 1) / parts
+		blocks[p] = data[lo:hi]
+	}
+	return FromPartitions(c, name, blocks)
+}
+
+// FromPartitions wraps pre-partitioned data as an RDD (used by the tensor
+// loaders, which place blocks according to the greedy partitioner).
+func FromPartitions[T any](c *Cluster, name string, blocks [][]T) *RDD[T] {
+	return &RDD[T]{
+		c:     c,
+		name:  name,
+		parts: len(blocks),
+		compute: func(tc *TaskCtx, p int) ([]T, error) {
+			return blocks[p], nil
+		},
+	}
+}
+
+// Name returns the RDD's debug name.
+func (r *RDD[T]) Name() string { return r.name }
+
+// NumPartitions returns the partition count.
+func (r *RDD[T]) NumPartitions() int { return r.parts }
+
+// Cluster returns the owning cluster.
+func (r *RDD[T]) Cluster() *Cluster { return r.c }
+
+// ensureDeps materializes every shuffle exchange in r's lineage, bottom-up.
+// It must be called on the driver (never inside a task) — running a stage
+// inside a task slot could exhaust a machine's cores and deadlock, which is
+// why wide dependencies are staged explicitly, as in Spark's DAG scheduler.
+func (r *RDD[T]) ensureDeps() error {
+	for _, d := range r.deps {
+		if err := d.ensure(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// computePartition resolves the cache, then lineage.
+func (r *RDD[T]) computePartition(tc *TaskCtx, p int) ([]T, error) {
+	r.cacheMu.Lock()
+	cached := r.cached
+	r.cacheMu.Unlock()
+	if !cached {
+		return r.compute(tc, p)
+	}
+	cp := &r.cparts[p]
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if cp.done {
+		return cp.items, nil
+	}
+	items, err := r.compute(tc, p)
+	if err != nil {
+		return nil, err
+	}
+	size := EstimateSize(items)
+	if err := r.c.charge(tc.Machine, size); err != nil {
+		return nil, fmt.Errorf("rdd: caching partition %d of %s: %w", p, r.name, err)
+	}
+	cp.done = true
+	cp.items = items
+	cp.machine = tc.Machine
+	cp.bytes = size
+	return items, nil
+}
+
+// Cache marks the RDD for in-memory persistence: the first computation of
+// each partition stores it (charging machine memory), later computations
+// reuse it. In ModeMapReduce this is a no-op — Hadoop's lack of cross-stage
+// in-memory reuse is the behaviour the paper contrasts Spark against.
+func (r *RDD[T]) Cache() *RDD[T] {
+	if r.c.cfg.Mode == ModeMapReduce {
+		return r
+	}
+	r.cacheMu.Lock()
+	defer r.cacheMu.Unlock()
+	if !r.cached {
+		r.cached = true
+		r.cparts = make([]cachedPart[T], r.parts)
+	}
+	return r
+}
+
+// Unpersist drops cached partitions and releases their memory.
+func (r *RDD[T]) Unpersist() {
+	r.cacheMu.Lock()
+	defer r.cacheMu.Unlock()
+	if !r.cached {
+		return
+	}
+	for p := range r.cparts {
+		cp := &r.cparts[p]
+		cp.mu.Lock()
+		if cp.done {
+			r.c.release(cp.machine, cp.bytes)
+			cp.done = false
+			cp.items = nil
+		}
+		cp.mu.Unlock()
+	}
+	r.cached = false
+	r.cparts = nil
+}
+
+// Materialize computes and caches every partition now (an action). It is how
+// iterative algorithms pin their working set, mirroring persist+count.
+func (r *RDD[T]) Materialize() error {
+	r.Cache()
+	if err := r.ensureDeps(); err != nil {
+		return err
+	}
+	return r.c.runStage("materialize:"+r.name, r.parts, func(tc *TaskCtx, p int) error {
+		_, err := r.computePartition(tc, p)
+		return err
+	})
+}
+
+// Map applies f to every element.
+func Map[T, U any](r *RDD[T], name string, f func(T) U) *RDD[U] {
+	return &RDD[U]{
+		c:     r.c,
+		name:  name,
+		parts: r.parts,
+		deps:  r.deps,
+		compute: func(tc *TaskCtx, p int) ([]U, error) {
+			in, err := r.computePartition(tc, p)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]U, len(in))
+			for i, v := range in {
+				out[i] = f(v)
+			}
+			return out, nil
+		},
+	}
+}
+
+// Filter keeps the elements satisfying pred.
+func (r *RDD[T]) Filter(name string, pred func(T) bool) *RDD[T] {
+	return &RDD[T]{
+		c:     r.c,
+		name:  name,
+		parts: r.parts,
+		deps:  r.deps,
+		compute: func(tc *TaskCtx, p int) ([]T, error) {
+			in, err := r.computePartition(tc, p)
+			if err != nil {
+				return nil, err
+			}
+			var out []T
+			for _, v := range in {
+				if pred(v) {
+					out = append(out, v)
+				}
+			}
+			return out, nil
+		},
+	}
+}
+
+// FlatMap applies f and concatenates the results.
+func FlatMap[T, U any](r *RDD[T], name string, f func(T) []U) *RDD[U] {
+	return &RDD[U]{
+		c:     r.c,
+		name:  name,
+		parts: r.parts,
+		deps:  r.deps,
+		compute: func(tc *TaskCtx, p int) ([]U, error) {
+			in, err := r.computePartition(tc, p)
+			if err != nil {
+				return nil, err
+			}
+			var out []U
+			for _, v := range in {
+				out = append(out, f(v)...)
+			}
+			return out, nil
+		},
+	}
+}
+
+// MapPartitions transforms a whole partition at once; f receives the
+// partition index, runs inside a task, and may charge transient memory via
+// the TaskCtx.
+func MapPartitions[T, U any](r *RDD[T], name string, f func(tc *TaskCtx, p int, in []T) ([]U, error)) *RDD[U] {
+	return &RDD[U]{
+		c:     r.c,
+		name:  name,
+		parts: r.parts,
+		deps:  r.deps,
+		compute: func(tc *TaskCtx, p int) ([]U, error) {
+			in, err := r.computePartition(tc, p)
+			if err != nil {
+				return nil, err
+			}
+			return f(tc, p, in)
+		},
+	}
+}
+
+// Collect computes all partitions and returns the concatenated elements in
+// partition order.
+func (r *RDD[T]) Collect() ([]T, error) {
+	if err := r.ensureDeps(); err != nil {
+		return nil, err
+	}
+	results := make([][]T, r.parts)
+	err := r.c.runStage("collect:"+r.name, r.parts, func(tc *TaskCtx, p int) error {
+		items, err := r.computePartition(tc, p)
+		if err != nil {
+			return err
+		}
+		results[p] = items
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []T
+	for _, part := range results {
+		out = append(out, part...)
+	}
+	return out, nil
+}
+
+// Count returns the number of elements.
+func (r *RDD[T]) Count() (int64, error) {
+	if err := r.ensureDeps(); err != nil {
+		return 0, err
+	}
+	counts := make([]int64, r.parts)
+	err := r.c.runStage("count:"+r.name, r.parts, func(tc *TaskCtx, p int) error {
+		items, err := r.computePartition(tc, p)
+		if err != nil {
+			return err
+		}
+		counts[p] = int64(len(items))
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for _, c := range counts {
+		n += c
+	}
+	return n, nil
+}
+
+// Reduce folds all elements with f. ok is false for an empty RDD.
+func Reduce[T any](r *RDD[T], f func(T, T) T) (result T, ok bool, err error) {
+	if err := r.ensureDeps(); err != nil {
+		return result, false, err
+	}
+	partials := make([]T, r.parts)
+	got := make([]bool, r.parts)
+	err = r.c.runStage("reduce:"+r.name, r.parts, func(tc *TaskCtx, p int) error {
+		items, err := r.computePartition(tc, p)
+		if err != nil {
+			return err
+		}
+		if len(items) == 0 {
+			return nil
+		}
+		acc := items[0]
+		for _, v := range items[1:] {
+			acc = f(acc, v)
+		}
+		partials[p] = acc
+		got[p] = true
+		return nil
+	})
+	if err != nil {
+		return result, false, err
+	}
+	for p := range partials {
+		if !got[p] {
+			continue
+		}
+		if !ok {
+			result, ok = partials[p], true
+		} else {
+			result = f(result, partials[p])
+		}
+	}
+	return result, ok, nil
+}
+
+// ForeachPartition runs f over every partition inside tasks (an action with
+// side effects owned by the caller; f must be safe for concurrent calls on
+// distinct partitions).
+func (r *RDD[T]) ForeachPartition(f func(tc *TaskCtx, p int, items []T) error) error {
+	if err := r.ensureDeps(); err != nil {
+		return err
+	}
+	return r.c.runStage("foreach:"+r.name, r.parts, func(tc *TaskCtx, p int) error {
+		items, err := r.computePartition(tc, p)
+		if err != nil {
+			return err
+		}
+		return f(tc, p, items)
+	})
+}

@@ -1,0 +1,549 @@
+package rdd
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func testCluster(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func ints(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestParallelizeCollectRoundTrip(t *testing.T) {
+	c := testCluster(t, Config{Machines: 3, CoresPerMachine: 2})
+	r := Parallelize(c, "nums", ints(100), 7)
+	if r.NumPartitions() != 7 {
+		t.Fatalf("parts = %d", r.NumPartitions())
+	}
+	got, err := r.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("collected %d", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapFilterFlatMapChain(t *testing.T) {
+	c := testCluster(t, Config{})
+	r := Parallelize(c, "nums", ints(20), 4)
+	doubled := Map(r, "double", func(x int) int { return 2 * x })
+	evens := doubled.Filter("keep<20", func(x int) bool { return x < 20 })
+	pairs := FlatMap(evens, "dup", func(x int) []int { return []int{x, x + 1} })
+	got, err := pairs.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 20 {
+		t.Fatalf("len = %d, want 20", len(got))
+	}
+	n, err := pairs.Count()
+	if err != nil || n != 20 {
+		t.Fatalf("Count = %d, %v", n, err)
+	}
+}
+
+func TestReduceAndEmpty(t *testing.T) {
+	c := testCluster(t, Config{})
+	r := Parallelize(c, "nums", ints(101), 8)
+	sum, ok, err := Reduce(r, func(a, b int) int { return a + b })
+	if err != nil || !ok || sum != 5050 {
+		t.Fatalf("Reduce = %d, %v, %v", sum, ok, err)
+	}
+	empty := Parallelize(c, "empty", []int{}, 3)
+	_, ok, err = Reduce(empty, func(a, b int) int { return a + b })
+	if err != nil || ok {
+		t.Fatalf("empty Reduce ok=%v err=%v", ok, err)
+	}
+}
+
+func TestMapPartitionsSeesAllPartitions(t *testing.T) {
+	c := testCluster(t, Config{})
+	r := Parallelize(c, "nums", ints(10), 3)
+	sums := MapPartitions(r, "psum", func(tc *TaskCtx, p int, in []int) ([]int, error) {
+		s := 0
+		for _, v := range in {
+			s += v
+		}
+		return []int{s}, nil
+	})
+	got, err := sums.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, v := range got {
+		total += v
+	}
+	if total != 45 || len(got) != 3 {
+		t.Fatalf("partition sums = %v", got)
+	}
+}
+
+func TestReduceByKeyMatchesReference(t *testing.T) {
+	c := testCluster(t, Config{Machines: 2, CoresPerMachine: 2})
+	var data []KV[string, int]
+	want := map[string]int{}
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("k%d", i%17)
+		data = append(data, KV[string, int]{k, i})
+		want[k] += i
+	}
+	r := Parallelize(c, "pairs", data, 5)
+	red := ReduceByKey(r, "sum", 4, func(a, b int) int { return a + b })
+	got, err := CollectAsMap(red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d keys, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %s: got %d want %d", k, got[k], v)
+		}
+	}
+	if c.Metrics().BytesShuffled.Load() == 0 {
+		t.Fatal("shuffle bytes not counted")
+	}
+}
+
+func TestAggregateByKeyCountsAndSums(t *testing.T) {
+	c := testCluster(t, Config{})
+	var data []KV[int, float64]
+	for i := 0; i < 100; i++ {
+		data = append(data, KV[int, float64]{i % 5, float64(i)})
+	}
+	r := Parallelize(c, "pairs", data, 6)
+	type acc struct {
+		N   int
+		Sum float64
+	}
+	agg := AggregateByKey(r, "stats", 3,
+		func() acc { return acc{} },
+		func(a acc, v float64) acc { return acc{a.N + 1, a.Sum + v} },
+		func(a, b acc) acc { return acc{a.N + b.N, a.Sum + b.Sum} },
+	)
+	got, err := CollectAsMap(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 5; k++ {
+		if got[k].N != 20 {
+			t.Fatalf("key %d count = %d", k, got[k].N)
+		}
+	}
+}
+
+func TestGroupByKey(t *testing.T) {
+	c := testCluster(t, Config{})
+	data := []KV[int, string]{{1, "a"}, {2, "b"}, {1, "c"}, {2, "d"}, {3, "e"}}
+	r := Parallelize(c, "pairs", data, 2)
+	g := GroupByKey(r, "group", 2)
+	got, err := CollectAsMap(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || len(got[1]) != 2 || len(got[2]) != 2 || len(got[3]) != 1 {
+		t.Fatalf("groups = %v", got)
+	}
+}
+
+func TestPartitionByPlacesKeysDeterministically(t *testing.T) {
+	c := testCluster(t, Config{})
+	var data []KV[int, int]
+	for i := 0; i < 40; i++ {
+		data = append(data, KV[int, int]{i, i * i})
+	}
+	r := Parallelize(c, "pairs", data, 4)
+	byRange := PartitionBy(r, "byrange", 4, FuncPartitioner[int](func(k, parts int) int {
+		return k * parts / 40
+	}))
+	err := byRange.ForeachPartition(func(tc *TaskCtx, p int, items []KV[int, int]) error {
+		for _, kv := range items {
+			if want := kv.K * 4 / 40; want != p {
+				return fmt.Errorf("key %d in partition %d, want %d", kv.K, p, want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := byRange.Count()
+	if err != nil || n != 40 {
+		t.Fatalf("Count = %d, %v", n, err)
+	}
+}
+
+func TestJoinInner(t *testing.T) {
+	c := testCluster(t, Config{})
+	left := Parallelize(c, "l", []KV[int, string]{{1, "a"}, {2, "b"}, {2, "B"}, {3, "c"}}, 2)
+	right := Parallelize(c, "r", []KV[int, int]{{2, 20}, {3, 30}, {4, 40}}, 3)
+	j := Join(left, right, "join", 2)
+	got, err := j.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect (2,b,20), (2,B,20), (3,c,30).
+	if len(got) != 3 {
+		t.Fatalf("join produced %d records: %v", len(got), got)
+	}
+	seen := map[string]bool{}
+	for _, kv := range got {
+		seen[fmt.Sprintf("%d-%s-%d", kv.K, kv.V.Left, kv.V.Right)] = true
+	}
+	for _, want := range []string{"2-b-20", "2-B-20", "3-c-30"} {
+		if !seen[want] {
+			t.Fatalf("missing %s in %v", want, seen)
+		}
+	}
+}
+
+func TestCoGroupEmptySides(t *testing.T) {
+	c := testCluster(t, Config{})
+	left := Parallelize(c, "l", []KV[int, string]{{1, "a"}}, 1)
+	right := Parallelize(c, "r", []KV[int, int]{{2, 20}}, 1)
+	cg := CoGroup(left, right, "cg", 2)
+	got, err := CollectAsMap(cg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got[1].Left) != 1 || len(got[1].Right) != 0 {
+		t.Fatalf("key 1 groups = %+v", got[1])
+	}
+	if len(got[2].Left) != 0 || len(got[2].Right) != 1 {
+		t.Fatalf("key 2 groups = %+v", got[2])
+	}
+}
+
+func TestMapValues(t *testing.T) {
+	c := testCluster(t, Config{})
+	r := Parallelize(c, "p", []KV[string, int]{{"a", 1}, {"b", 2}}, 1)
+	mv := MapValues(r, "sq", func(v int) int { return v * v })
+	got, err := CollectAsMap(mv)
+	if err != nil || got["a"] != 1 || got["b"] != 4 {
+		t.Fatalf("MapValues = %v, %v", got, err)
+	}
+}
+
+func TestCacheReusesComputation(t *testing.T) {
+	c := testCluster(t, Config{})
+	computes := make(chan struct{}, 100)
+	r := Parallelize(c, "src", ints(10), 2)
+	counted := MapPartitions(r, "counted", func(tc *TaskCtx, p int, in []int) ([]int, error) {
+		computes <- struct{}{}
+		return in, nil
+	}).Cache()
+	for i := 0; i < 3; i++ {
+		if _, err := counted.Collect(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(computes); n != 2 {
+		t.Fatalf("computed %d partitions, want 2 (cached)", n)
+	}
+	if c.UsedMemory(0)+c.UsedMemory(1)+c.UsedMemory(2)+c.UsedMemory(3) == 0 {
+		t.Fatal("cache charged no memory")
+	}
+	counted.Unpersist()
+	var used int64
+	for m := 0; m < c.Machines(); m++ {
+		used += c.UsedMemory(m)
+	}
+	if used != 0 {
+		t.Fatalf("memory still charged after Unpersist: %d", used)
+	}
+}
+
+func TestCacheIsNoOpInMapReduceMode(t *testing.T) {
+	c := testCluster(t, Config{Mode: ModeMapReduce})
+	computes := make(chan struct{}, 100)
+	r := Parallelize(c, "src", ints(10), 2)
+	counted := MapPartitions(r, "counted", func(tc *TaskCtx, p int, in []int) ([]int, error) {
+		computes <- struct{}{}
+		return in, nil
+	}).Cache()
+	for i := 0; i < 3; i++ {
+		if _, err := counted.Collect(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(computes); n != 6 {
+		t.Fatalf("computed %d partitions, want 6 (no caching in MapReduce mode)", n)
+	}
+}
+
+func TestOutOfMemoryOnCache(t *testing.T) {
+	c := testCluster(t, Config{Machines: 1, MemoryPerMachine: 128})
+	big := make([]int, 10000)
+	r := Parallelize(c, "big", big, 1).Cache()
+	_, err := r.Collect()
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestTransientChargeAndRelease(t *testing.T) {
+	c := testCluster(t, Config{Machines: 1, MemoryPerMachine: 1000})
+	r := Parallelize(c, "src", ints(4), 1)
+	heavy := MapPartitions(r, "heavy", func(tc *TaskCtx, p int, in []int) ([]int, error) {
+		if err := tc.ChargeTransient(900); err != nil {
+			return nil, err
+		}
+		return in, nil
+	})
+	if _, err := heavy.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	if used := c.UsedMemory(0); used != 0 {
+		t.Fatalf("transient memory not released: %d", used)
+	}
+	if c.PeakMemory(0) < 900 {
+		t.Fatalf("peak %d, want >= 900", c.PeakMemory(0))
+	}
+	tooHeavy := MapPartitions(r, "tooheavy", func(tc *TaskCtx, p int, in []int) ([]int, error) {
+		return nil, tc.ChargeTransient(2000)
+	})
+	if _, err := tooHeavy.Collect(); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestMapReduceModeSpillsToDisk(t *testing.T) {
+	c := testCluster(t, Config{Mode: ModeMapReduce})
+	var data []KV[int, int]
+	for i := 0; i < 100; i++ {
+		data = append(data, KV[int, int]{i % 10, 1})
+	}
+	r := Parallelize(c, "pairs", data, 4)
+	red := ReduceByKey(r, "count", 3, func(a, b int) int { return a + b })
+	got, err := CollectAsMap(red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 10; k++ {
+		if got[k] != 10 {
+			t.Fatalf("key %d = %d, want 10", k, got[k])
+		}
+	}
+	if c.Metrics().DiskBytesWrite.Load() == 0 || c.Metrics().DiskBytesRead.Load() == 0 {
+		t.Fatalf("MapReduce mode did not touch disk: %+v", c.Metrics().Snapshot())
+	}
+}
+
+func TestFaultInjectionRecoversViaLineage(t *testing.T) {
+	c := testCluster(t, Config{Machines: 3, CoresPerMachine: 2})
+	c.InjectTaskFailures("collect:victims", 2)
+	r := Parallelize(c, "victims", ints(50), 5)
+	got, err := r.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 50 {
+		t.Fatalf("collected %d", len(got))
+	}
+	if c.Metrics().TaskRetries.Load() != 2 {
+		t.Fatalf("retries = %d, want 2", c.Metrics().TaskRetries.Load())
+	}
+}
+
+func TestFaultInjectionExhaustsRetries(t *testing.T) {
+	c := testCluster(t, Config{Machines: 2})
+	c.InjectTaskFailures("collect:doomed", 100)
+	r := Parallelize(c, "doomed", ints(10), 2)
+	if _, err := r.Collect(); err == nil {
+		t.Fatal("expected failure after retry exhaustion")
+	}
+}
+
+func TestBroadcastChargesEveryMachine(t *testing.T) {
+	c := testCluster(t, Config{Machines: 4, MemoryPerMachine: 1 << 20})
+	payload := make([]float64, 1000)
+	b, err := NewBroadcast(c, "gram", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.SizeBytes() == 0 {
+		t.Fatal("broadcast size zero")
+	}
+	for m := 0; m < 4; m++ {
+		if c.UsedMemory(m) != b.SizeBytes() {
+			t.Fatalf("machine %d charged %d, want %d", m, c.UsedMemory(m), b.SizeBytes())
+		}
+	}
+	if got := c.Metrics().BytesBroadcast.Load(); got != 4*b.SizeBytes() {
+		t.Fatalf("broadcast bytes = %d", got)
+	}
+	b.Release()
+	b.Release() // idempotent
+	for m := 0; m < 4; m++ {
+		if c.UsedMemory(m) != 0 {
+			t.Fatalf("machine %d not released", m)
+		}
+	}
+}
+
+func TestBroadcastOOM(t *testing.T) {
+	c := testCluster(t, Config{Machines: 2, MemoryPerMachine: 64})
+	if _, err := NewBroadcast(c, "big", make([]float64, 10000)); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+	// Failed broadcast must not leak charges.
+	if c.UsedMemory(0) != 0 || c.UsedMemory(1) != 0 {
+		t.Fatal("failed broadcast leaked memory")
+	}
+}
+
+func TestEstimateSizeWithSizer(t *testing.T) {
+	vals := []sizedThing{{10}, {20}}
+	if got := EstimateSize(vals); got != 30 {
+		t.Fatalf("EstimateSize = %d, want 30", got)
+	}
+	if got := EstimateSize(sizedThing{5}); got != 5 {
+		t.Fatalf("EstimateSize = %d, want 5", got)
+	}
+	if got := EstimateSize(func() {}); got != 64 {
+		t.Fatalf("unencodable fallback = %d, want 64", got)
+	}
+}
+
+type sizedThing struct{ n int64 }
+
+func (s sizedThing) SizeBytes() int64 { return s.n }
+
+// Property: ReduceByKey agrees with a single-machine fold for arbitrary data,
+// partition counts, and machine counts.
+func TestReduceByKeyProperty(t *testing.T) {
+	f := func(keys []uint8, seed uint64) bool {
+		if len(keys) == 0 {
+			return true
+		}
+		c := MustNewCluster(Config{Machines: 1 + int(seed%4), CoresPerMachine: 1 + int(seed%3)})
+		defer c.Close()
+		var data []KV[uint8, int]
+		want := map[uint8]int{}
+		for i, k := range keys {
+			data = append(data, KV[uint8, int]{k, i})
+			want[k] += i
+		}
+		r := Parallelize(c, "prop", data, 1+int(seed%7))
+		red := ReduceByKey(r, "propsum", 1+int((seed>>8)%5), func(a, b int) int { return a + b })
+		got, err := CollectAsMap(red)
+		if err != nil || len(got) != len(want) {
+			return false
+		}
+		for k, v := range want {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Collect preserves multiset and partition order for narrow chains.
+func TestCollectOrderProperty(t *testing.T) {
+	f := func(n uint8, parts uint8) bool {
+		c := MustNewCluster(Config{})
+		defer c.Close()
+		data := ints(int(n))
+		r := Parallelize(c, "ord", data, 1+int(parts%9))
+		got, err := r.Collect()
+		if err != nil || len(got) != len(data) {
+			return false
+		}
+		return sort.IntsAreSorted(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeInMemory.String() != "spark" || ModeMapReduce.String() != "mapreduce" {
+		t.Fatal("Mode.String")
+	}
+	if Mode(9).String() == "" {
+		t.Fatal("unknown mode string")
+	}
+}
+
+func TestMaterializePins(t *testing.T) {
+	c := testCluster(t, Config{})
+	r := Parallelize(c, "m", ints(10), 3)
+	if err := r.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	var used int64
+	for m := 0; m < c.Machines(); m++ {
+		used += c.UsedMemory(m)
+	}
+	if used == 0 {
+		t.Fatal("Materialize pinned nothing")
+	}
+}
+
+func TestShuffleAfterShuffle(t *testing.T) {
+	// Two chained wide dependencies must both materialize without deadlock,
+	// even with a single core per machine.
+	c := testCluster(t, Config{Machines: 2, CoresPerMachine: 1})
+	var data []KV[int, int]
+	for i := 0; i < 60; i++ {
+		data = append(data, KV[int, int]{i % 12, 1})
+	}
+	r := Parallelize(c, "pairs", data, 4)
+	first := ReduceByKey(r, "s1", 3, func(a, b int) int { return a + b })
+	rekeyed := Map(first, "rekey", func(kv KV[int, int]) KV[int, int] {
+		return KV[int, int]{kv.K % 3, kv.V}
+	})
+	second := ReduceByKey(rekeyed, "s2", 2, func(a, b int) int { return a + b })
+	got, err := CollectAsMap(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, v := range got {
+		total += v
+	}
+	if total != 60 {
+		t.Fatalf("total = %d, want 60", total)
+	}
+	if s := c.Metrics().Snapshot(); s.Stages < 3 {
+		t.Fatalf("expected >=3 stages, got %+v", s)
+	}
+}
+
+func TestMetricsSnapshotSub(t *testing.T) {
+	a := MetricsSnapshot{BytesShuffled: 10, TasksRun: 5}
+	b := MetricsSnapshot{BytesShuffled: 4, TasksRun: 2}
+	d := a.Sub(b)
+	if d.BytesShuffled != 6 || d.TasksRun != 3 {
+		t.Fatalf("Sub = %+v", d)
+	}
+}

@@ -1,0 +1,141 @@
+package rdd
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// exchange is one shuffle: the map side buckets and serializes its records by
+// target partition; the reduce side fetches and deserializes them. Blocks are
+// held in memory (ModeInMemory) or spilled through the filesystem
+// (ModeMapReduce), with every byte counted in the cluster metrics — the
+// quantity Lemma 3 of the paper bounds.
+type exchange[R any] struct {
+	c           *Cluster
+	id          int64
+	name        string
+	mapParts    int
+	reduceParts int
+	// buckets computes one map task's output: reduceParts slices of records.
+	buckets func(tc *TaskCtx, mapPart int) ([][]R, error)
+	// parentDeps are materialized before the map stage runs.
+	parentDeps []dep
+
+	once   sync.Once
+	err    error
+	blocks [][][]byte // [mapPart][reducePart] (nil entries in disk mode)
+	files  [][]string // paths in disk mode
+}
+
+func newExchange[R any](c *Cluster, name string, parentDeps []dep, mapParts, reduceParts int,
+	buckets func(tc *TaskCtx, mapPart int) ([][]R, error)) *exchange[R] {
+	return &exchange[R]{
+		c:           c,
+		id:          c.newID(),
+		name:        name,
+		mapParts:    mapParts,
+		reduceParts: reduceParts,
+		buckets:     buckets,
+		parentDeps:  parentDeps,
+	}
+}
+
+// ensure runs the map (shuffle-write) stage exactly once.
+func (e *exchange[R]) ensure() error {
+	e.once.Do(func() {
+		for _, d := range e.parentDeps {
+			if e.err = d.ensure(); e.err != nil {
+				return
+			}
+		}
+		e.blocks = make([][][]byte, e.mapParts)
+		e.files = make([][]string, e.mapParts)
+		e.err = e.c.runStage("shuffle-write:"+e.name, e.mapParts, func(tc *TaskCtx, p int) error {
+			bs, err := e.buckets(tc, p)
+			if err != nil {
+				return err
+			}
+			if len(bs) != e.reduceParts {
+				return fmt.Errorf("rdd: shuffle %s map task %d produced %d buckets, want %d", e.name, p, len(bs), e.reduceParts)
+			}
+			enc := make([][]byte, e.reduceParts)
+			var paths []string
+			if e.c.cfg.Mode == ModeMapReduce {
+				paths = make([]string, e.reduceParts)
+			}
+			for rp, records := range bs {
+				if len(records) == 0 {
+					continue
+				}
+				data, err := encodeBlock(records)
+				if err != nil {
+					return fmt.Errorf("rdd: encoding shuffle block: %w", err)
+				}
+				e.c.metrics.BytesShuffled.Add(int64(len(data)))
+				if e.c.cfg.Mode == ModeMapReduce {
+					path := filepath.Join(e.c.tmpDir, fmt.Sprintf("ex%d-m%d-r%d.blk", e.id, p, rp))
+					if err := os.WriteFile(path, data, 0o600); err != nil {
+						return fmt.Errorf("rdd: spilling shuffle block: %w", err)
+					}
+					e.c.metrics.DiskBytesWrite.Add(int64(len(data)))
+					e.c.diskDelay(len(data))
+					paths[rp] = path
+				} else {
+					enc[rp] = data
+				}
+			}
+			e.blocks[p] = enc
+			e.files[p] = paths
+			return nil
+		})
+	})
+	return e.err
+}
+
+// fetch returns the decoded records destined for reduce partition rp.
+func (e *exchange[R]) fetch(rp int) ([]R, error) {
+	if err := e.ensure(); err != nil {
+		return nil, err
+	}
+	var out []R
+	for mp := 0; mp < e.mapParts; mp++ {
+		var data []byte
+		if e.c.cfg.Mode == ModeMapReduce {
+			if e.files[mp] == nil || e.files[mp][rp] == "" {
+				continue
+			}
+			var err error
+			data, err = os.ReadFile(e.files[mp][rp])
+			if err != nil {
+				return nil, fmt.Errorf("rdd: reading spilled shuffle block: %w", err)
+			}
+			e.c.metrics.DiskBytesRead.Add(int64(len(data)))
+			e.c.diskDelay(len(data))
+		} else {
+			data = e.blocks[mp][rp]
+			if data == nil {
+				continue
+			}
+		}
+		records, err := decodeBlock[R](data)
+		if err != nil {
+			return nil, fmt.Errorf("rdd: decoding shuffle block: %w", err)
+		}
+		out = append(out, records...)
+	}
+	return out, nil
+}
+
+// diskDelay models HDFS/disk latency proportional to the spilled bytes.
+func (c *Cluster) diskDelay(n int) {
+	if c.cfg.DiskLatencyPerMB <= 0 {
+		return
+	}
+	d := time.Duration(float64(c.cfg.DiskLatencyPerMB) * float64(n) / (1 << 20))
+	if d > 0 {
+		time.Sleep(d)
+	}
+}

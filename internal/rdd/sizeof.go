@@ -1,0 +1,58 @@
+package rdd
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+)
+
+// Sizer lets a type report its in-memory footprint directly, skipping the
+// gob-based estimate. Hot types (tensor blocks, factor rows) implement it.
+type Sizer interface {
+	SizeBytes() int64
+}
+
+// EstimateSize returns the approximate serialized size of v in bytes: the
+// quantity the engine charges for cached partitions and broadcasts. Values
+// implementing Sizer are asked directly; a slice whose elements implement
+// Sizer is summed; everything else is gob-encoded once.
+func EstimateSize(v any) int64 {
+	if s, ok := v.(Sizer); ok {
+		return s.SizeBytes()
+	}
+	if rv := reflect.ValueOf(v); rv.Kind() == reflect.Slice && rv.Len() > 0 {
+		if _, ok := rv.Index(0).Interface().(Sizer); ok {
+			var total int64
+			for i := 0; i < rv.Len(); i++ {
+				total += rv.Index(i).Interface().(Sizer).SizeBytes()
+			}
+			return total
+		}
+	}
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(v); err != nil {
+		// Unencodable values (functions, channels) should never be cached;
+		// fall back to a token charge rather than failing the job.
+		return 64
+	}
+	return int64(buf.Len())
+}
+
+// encodeBlock gob-encodes a shuffle block.
+func encodeBlock[R any](records []R) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(records); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeBlock reverses encodeBlock.
+func decodeBlock[R any](data []byte) ([]R, error) {
+	var records []R
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&records); err != nil {
+		return nil, err
+	}
+	return records, nil
+}

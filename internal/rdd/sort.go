@@ -1,0 +1,74 @@
+package rdd
+
+import (
+	"cmp"
+	"sort"
+)
+
+// RangePartitioner assigns ordered keys to contiguous partitions using
+// sampled split points, so that partition p holds keys in
+// (splits[p-1], splits[p]] — Spark's sortByKey machinery.
+type RangePartitioner[K cmp.Ordered] struct {
+	splits []K // len parts-1, ascending
+}
+
+// NewRangePartitioner builds split points from a sample of keys.
+func NewRangePartitioner[K cmp.Ordered](sample []K, parts int) RangePartitioner[K] {
+	if parts < 1 {
+		parts = 1
+	}
+	sorted := append([]K(nil), sample...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	splits := make([]K, 0, parts-1)
+	for p := 1; p < parts; p++ {
+		if len(sorted) == 0 {
+			break
+		}
+		idx := len(sorted) * p / parts
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		splits = append(splits, sorted[idx])
+	}
+	return RangePartitioner[K]{splits: splits}
+}
+
+// Partition implements Partitioner.
+func (r RangePartitioner[K]) Partition(k K, parts int) int {
+	p := sort.Search(len(r.splits), func(i int) bool { return k <= r.splits[i] })
+	if p >= parts {
+		p = parts - 1
+	}
+	return p
+}
+
+// SortByKey globally sorts a pair RDD by key: keys are range-partitioned
+// using a driver-side sample, then each partition sorts locally, so
+// collecting the result yields ascending key order.
+func SortByKey[K cmp.Ordered, V any](r *RDD[KV[K, V]], name string, parts int) (*RDD[KV[K, V]], error) {
+	if parts <= 0 {
+		parts = r.parts
+	}
+	// Sample up to ~20 keys per output partition for the split points.
+	sampled, err := Sample(Map(r, name+":keys", func(kv KV[K, V]) K { return kv.K }), name+":sample", sampleFraction(parts), 42).Collect()
+	if err != nil {
+		return nil, err
+	}
+	pt := NewRangePartitioner(sampled, parts)
+	shuffled := PartitionBy(r, name+":range", parts, pt)
+	return MapPartitions(shuffled, name, func(tc *TaskCtx, p int, in []KV[K, V]) ([]KV[K, V], error) {
+		out := append([]KV[K, V](nil), in...)
+		sort.SliceStable(out, func(i, j int) bool { return out[i].K < out[j].K })
+		return out, nil
+	}), nil
+}
+
+func sampleFraction(parts int) float64 {
+	// Aim for a modest constant number of samples per partition without
+	// knowing the dataset size; 5% floor keeps tiny datasets represented.
+	f := 0.05 * float64(parts)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}

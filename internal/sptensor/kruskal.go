@@ -1,0 +1,142 @@
+package sptensor
+
+import (
+	"fmt"
+
+	"distenc/internal/mat"
+)
+
+// Kruskal is a rank-R Kruskal tensor [[A(1),…,A(N)]] (Eq. 3): the sum of R
+// rank-one outer products, stored as N factor matrices A(n) ∈ ℝ^{I_n×R}.
+type Kruskal struct {
+	Factors []*mat.Dense
+}
+
+// NewKruskal validates and wraps factor matrices.
+func NewKruskal(factors ...*mat.Dense) *Kruskal {
+	if len(factors) == 0 {
+		panic("sptensor: Kruskal needs at least one factor")
+	}
+	r := factors[0].Cols()
+	for n, f := range factors {
+		if f.Cols() != r {
+			panic(fmt.Sprintf("sptensor: factor %d has rank %d, want %d", n, f.Cols(), r))
+		}
+	}
+	return &Kruskal{Factors: factors}
+}
+
+// Rank returns R.
+func (k *Kruskal) Rank() int { return k.Factors[0].Cols() }
+
+// Dims returns the mode sizes.
+func (k *Kruskal) Dims() []int {
+	d := make([]int, len(k.Factors))
+	for n, f := range k.Factors {
+		d[n] = f.Rows()
+	}
+	return d
+}
+
+// At evaluates the Kruskal tensor at the given multi-index in O(N·R).
+func (k *Kruskal) At(idx []int32) float64 {
+	r := k.Rank()
+	var s float64
+	row0 := k.Factors[0].Row(int(idx[0]))
+	for j := 0; j < r; j++ {
+		p := row0[j]
+		for n := 1; n < len(k.Factors); n++ {
+			p *= k.Factors[n].At(int(idx[n]), j)
+		}
+		s += p
+	}
+	return s
+}
+
+// Clone deep-copies the factors.
+func (k *Kruskal) Clone() *Kruskal {
+	fs := make([]*mat.Dense, len(k.Factors))
+	for n, f := range k.Factors {
+		fs[n] = f.Clone()
+	}
+	return &Kruskal{Factors: fs}
+}
+
+// Residual returns E = Ω∗(T − [[A…]]) (Eq. 14): the sparse tensor over T's
+// observed coordinates holding observation minus model. This is the object
+// §III-D keeps instead of the completed dense tensor; it costs O(R·nnz).
+func Residual(t *Tensor, k *Kruskal) *Tensor {
+	out := New(t.Dims...)
+	out.Idx = append([]int32(nil), t.Idx...)
+	out.Val = make([]float64, t.NNZ())
+	for e := 0; e < t.NNZ(); e++ {
+		out.Val[e] = t.Val[e] - k.At(t.Index(e))
+	}
+	return out
+}
+
+// MTTKRP computes H = X_(n) · (A(N)⊙…⊙A(n+1)⊙A(n-1)⊙…⊙A(1)) row-wise
+// (Eq. 10/11) without materializing the Khatri-Rao product: for every stored
+// entry x at (i_1,…,i_N),
+//
+//	H[i_n, :] += x · ∗_{k≠n} A(k)[i_k, :].
+//
+// The result is I_n×R. scratch, if non-nil, must have length R and avoids a
+// per-call allocation.
+func MTTKRP(t *Tensor, factors []*mat.Dense, n int, scratch []float64) *mat.Dense {
+	order := len(t.Dims)
+	if len(factors) != order {
+		panic(fmt.Sprintf("sptensor: MTTKRP got %d factors for order-%d tensor", len(factors), order))
+	}
+	r := factors[0].Cols()
+	h := mat.NewDense(t.Dims[n], r)
+	if scratch == nil {
+		scratch = make([]float64, r)
+	}
+	if len(scratch) != r {
+		panic("sptensor: MTTKRP scratch length must equal rank")
+	}
+	for e := 0; e < t.NNZ(); e++ {
+		idx := t.Index(e)
+		v := t.Val[e]
+		for j := 0; j < r; j++ {
+			scratch[j] = v
+		}
+		for k := 0; k < order; k++ {
+			if k == n {
+				continue
+			}
+			row := factors[k].Row(int(idx[k]))
+			for j := 0; j < r; j++ {
+				scratch[j] *= row[j]
+			}
+		}
+		dst := h.Row(int(idx[n]))
+		for j := 0; j < r; j++ {
+			dst[j] += scratch[j]
+		}
+	}
+	return h
+}
+
+// GramProduct returns U(n)ᵀU(n) = ∗_{k≠n} A(k)ᵀA(k) (Eq. 12) given the
+// precomputed per-mode Gram matrices — the cached F_n of Algorithm 3 line 9.
+func GramProduct(grams []*mat.Dense, n int) *mat.Dense {
+	r := grams[0].Rows()
+	out := mat.NewDense(r, r)
+	out.Fill(1)
+	for k, g := range grams {
+		if k == n {
+			continue
+		}
+		out.HadamardInPlace(g)
+	}
+	return out
+}
+
+// MTTKRPFlops returns the floating point operation count of one row-wise
+// MTTKRP call — 2·(N−1)·R multiplies plus R adds per stored entry — used by
+// the Lemma 1 counter experiments.
+func MTTKRPFlops(nnz, order, rank int) int64 {
+	return int64(nnz) * int64(rank) * int64(2*(order-1)+1)
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env python3
+"""Replace the Figure 4 section of experiments_full.txt with a quieter rerun.
+
+Figure 4's speedups are computed from per-task durations; on a 1-core host
+they are only stable when nothing else competes for the CPU, so the harness
+reruns `distenc-bench -exp fig4` alone and splices the section in.
+
+Usage: splice_fig4.py experiments_full.txt fig4_only.txt
+"""
+import re
+import sys
+
+
+def main() -> None:
+    full_path, fig4_path = sys.argv[1], sys.argv[2]
+    full = open(full_path).read()
+    fig4 = open(fig4_path).read()
+    m = re.search(r"=== Figure 4.*?\[fig4 done in [0-9.]+s\]\n", fig4, re.S)
+    if not m:
+        raise SystemExit("no Figure 4 section in rerun output")
+    spliced, n = re.subn(
+        r"=== Figure 4.*?\[fig4 done in [0-9.]+s\]\n", m.group(0), full, flags=re.S
+    )
+    if n != 1:
+        raise SystemExit(f"expected exactly one Figure 4 section, found {n}")
+    open(full_path, "w").write(spliced)
+
+
+if __name__ == "__main__":
+    main()
