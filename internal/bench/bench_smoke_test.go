@@ -65,6 +65,9 @@ func TestFig3cShape(t *testing.T) {
 }
 
 func TestFig4SpeedupGrows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("machine-scalability sweep is slow under -race")
+	}
 	var sb strings.Builder
 	speedups := Fig4(&sb, smallProfile())
 	d := speedups[MethodDisTenC]
@@ -80,6 +83,9 @@ func TestFig4SpeedupGrows(t *testing.T) {
 }
 
 func TestFig5AuxMethodsWin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("missing-rate accuracy sweep is slow under -race")
+	}
 	var sb strings.Builder
 	errs := Fig5(&sb, smallProfile())
 	for i := range errs[MethodDisTenC] {
@@ -91,6 +97,9 @@ func TestFig5AuxMethodsWin(t *testing.T) {
 }
 
 func TestFig6aDisTenCWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recommender RMSE runs are slow under -race")
+	}
 	var sb strings.Builder
 	out := Fig6a(&sb, smallProfile())
 	for ds, rmse := range out {
@@ -101,6 +110,9 @@ func TestFig6aDisTenCWins(t *testing.T) {
 }
 
 func TestFig6bTraces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("convergence traces are slow under -race")
+	}
 	var sb strings.Builder
 	traces := Fig6b(&sb, smallProfile())
 	tr, ok := traces[MethodDisTenC]
@@ -114,6 +126,9 @@ func TestFig6bTraces(t *testing.T) {
 }
 
 func TestFig7LinkPrediction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("link-prediction runs are slow under -race")
+	}
 	var sb strings.Builder
 	out := Fig7(&sb, smallProfile())
 	if out[MethodDisTenC] >= out[MethodALS] {
@@ -122,6 +137,9 @@ func TestFig7LinkPrediction(t *testing.T) {
 }
 
 func TestTableII(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset generation is slow under -race")
+	}
 	var sb strings.Builder
 	sets := TableII(io.Discard, smallProfile())
 	if len(sets) != 4 {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"time"
 
@@ -37,8 +38,10 @@ type DistOptions struct {
 	GridPartition bool
 }
 
-// RowKey addresses one factor-matrix row in the MTTKRP shuffle; Mode -1
-// carries the residual norm side-channel.
+// RowKey addresses one factor-matrix row; Mode -1 carries side-channel
+// scalars. DisTenC's own MTTKRP shuffle now moves packed slab records
+// (PackedRows) instead of per-row KVs, but baselines that exchange individual
+// factor rows (FlexiFact's SGD deltas) still key on it.
 type RowKey struct {
 	Mode int16
 	Row  int32
@@ -152,9 +155,19 @@ type Layout struct {
 	blockParts [][]*TensorBlock
 	// modeBounds[n] partitions mode n's rows for the reduce side.
 	modeBounds []part.Boundaries
-	// neededRows[p][n] lists the mode-n factor rows block p touches.
+	// neededRows[p][n] lists (sorted, unique) the mode-n factor rows block p
+	// touches.
 	neededRows [][][]int32
-	parts      int
+	// locIdx[p] is the global→local row remap of partition p, parallel to its
+	// blocks' concatenated Idx slabs: locIdx[p][e·N+n] is the position of
+	// Idx[e·N+n] within neededRows[p][n]. The fused kernel accumulates into
+	// flat per-mode slabs through it instead of hashing global row ids.
+	locIdx [][]int32
+	// rowRuns[p][n] are part.RunsOf offsets splitting neededRows[p][n] by
+	// destination reduce partition, precomputed so the map task can slice its
+	// accumulator slab into per-destination PackedRows records.
+	rowRuns [][][]int
+	parts   int
 }
 
 func NewLayout(t *sptensor.Tensor, opt DistOptions) *Layout {
@@ -221,11 +234,67 @@ func NewLayout(t *sptensor.Tensor, opt DistOptions) *Layout {
 	}
 	l.blockParts = make([][]*TensorBlock, p)
 	l.neededRows = make([][][]int32, p)
+	l.locIdx = make([][]int32, p)
+	l.rowRuns = make([][][]int, p)
+	maxDim := 0
+	for _, d := range t.Dims {
+		maxDim = max(maxDim, d)
+	}
+	remap := make([]int32, maxDim) // global row → local slab index, per (block, mode)
 	for b, blk := range blocks {
+		sortEntriesModeMajor(blk)
 		l.blockParts[b] = []*TensorBlock{blk}
 		l.neededRows[b] = neededRows(blk)
+		loc := make([]int32, len(blk.Idx))
+		l.rowRuns[b] = make([][]int, order)
+		for n := 0; n < order; n++ {
+			rows := l.neededRows[b][n]
+			for local, row := range rows {
+				remap[row] = int32(local)
+			}
+			for e := 0; e < blk.NNZ(); e++ {
+				loc[e*order+n] = remap[blk.Idx[e*order+n]]
+			}
+			l.rowRuns[b][n] = l.modeBounds[n].RunsOf(rows)
+		}
+		l.locIdx[b] = loc
 	}
 	return l
+}
+
+// sortEntriesModeMajor reorders blk's entries lexicographically by their
+// multi-index. Runs of entries then share their leading fibers, which lets
+// the fused kernel reuse left-prefix Hadamard products (§III-C's row-wise
+// fiber MTTKRP) and gives the accumulator slab a sequential access pattern on
+// mode 0.
+func sortEntriesModeMajor(blk *TensorBlock) {
+	nnz := blk.NNZ()
+	if nnz <= 1 {
+		return
+	}
+	order := blk.Order
+	perm := make([]int32, nnz)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.Slice(perm, func(a, b int) bool {
+		ia := blk.Idx[int(perm[a])*order : (int(perm[a])+1)*order]
+		ib := blk.Idx[int(perm[b])*order : (int(perm[b])+1)*order]
+		for n := 0; n < order; n++ {
+			if ia[n] != ib[n] {
+				return ia[n] < ib[n]
+			}
+		}
+		return false
+	})
+	idx := make([]int32, len(blk.Idx))
+	val := make([]float64, nnz)
+	for i, e := range perm {
+		copy(idx[i*order:(i+1)*order], blk.Idx[int(e)*order:(int(e)+1)*order])
+		val[i] = blk.Val[e]
+	}
+	blk.Idx = idx
+	blk.Val = val
 }
 
 // BlocksRDD wraps the layout's tensor blocks as a one-block-per-partition
@@ -248,137 +317,28 @@ func (l *Layout) Order() int { return l.order }
 
 // neededRows returns, per mode, the sorted unique factor rows blk touches —
 // the "non-local factor matrix rows transferred to this process" of §III-C.
+// Sort-based dedupe on a flat slice: gathering O(nnz) int32s and sorting is
+// far cheaper than the O(nnz·N) hash-map inserts it replaces, and the sorted
+// result is exactly what the local-id remap and per-destination row runs need.
 func neededRows(blk *TensorBlock) [][]int32 {
-	out := make([][]int32, blk.Order)
-	for n := 0; n < blk.Order; n++ {
-		seen := map[int32]struct{}{}
-		for e := 0; e < blk.NNZ(); e++ {
-			seen[blk.EntryIndex(e)[n]] = struct{}{}
+	order := blk.Order
+	nnz := blk.NNZ()
+	out := make([][]int32, order)
+	for n := 0; n < order; n++ {
+		rows := make([]int32, nnz)
+		for e := 0; e < nnz; e++ {
+			rows[e] = blk.Idx[e*order+n]
 		}
-		rows := make([]int32, 0, len(seen))
-		for r := range seen {
-			rows = append(rows, r)
-		}
-		sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
-		out[n] = rows
+		slices.Sort(rows)
+		out[n] = slices.Clip(slices.Compact(rows))
 	}
 	return out
 }
 
-// MTTKRPStage executes the per-iteration distributed stage and returns
-// the assembled H_n = E_(n)·U(n) matrices plus ‖E‖²_F.
-func MTTKRPStage(c *rdd.Cluster, blocks *rdd.RDD[*TensorBlock], l *Layout, factors []*mat.Dense, opt DistOptions) ([]*mat.Dense, float64, error) {
-	rank := opt.Rank
-	// Ship each block its needed factor rows: count the bytes as shuffle
-	// traffic (they cross machines on a real cluster) and charge them as
-	// transient task memory.
-	shipSizes := make([]int64, l.parts)
-	for p := 0; p < l.parts; p++ {
-		var rows int64
-		for n := 0; n < l.order; n++ {
-			rows += int64(len(l.neededRows[p][n]))
-		}
-		shipSizes[p] = rows * int64(rank) * 8
-	}
-
-	partials := rdd.MapPartitions(blocks, "mttkrp-map", func(tc *rdd.TaskCtx, p int, in []*TensorBlock) ([]rdd.KV[RowKey, []float64], error) {
-		if err := tc.ChargeTransient(shipSizes[p]); err != nil {
-			return nil, err
-		}
-		tc.Cluster().Metrics().BytesShuffled.Add(shipSizes[p])
-		var out []rdd.KV[RowKey, []float64]
-		var norm2 float64
-		scratch := make([]float64, rank)
-		acc := make([]map[int32][]float64, l.order)
-		for n := range acc {
-			acc[n] = map[int32][]float64{}
-		}
-		for _, blk := range in {
-			for e := 0; e < blk.NNZ(); e++ {
-				idx := blk.EntryIndex(e)
-				// Residual entry against the shipped factor rows.
-				var model float64
-				for r := 0; r < rank; r++ {
-					v := 1.0
-					for n := 0; n < l.order; n++ {
-						v *= factors[n].At(int(idx[n]), r)
-					}
-					model += v
-				}
-				resid := blk.Val[e] - model
-				norm2 += resid * resid
-				// Row-wise MTTKRP partials (Eq. 11) for every mode.
-				for n := 0; n < l.order; n++ {
-					for r := 0; r < rank; r++ {
-						scratch[r] = resid
-					}
-					for k := 0; k < l.order; k++ {
-						if k == n {
-							continue
-						}
-						row := factors[k].Row(int(idx[k]))
-						for r := 0; r < rank; r++ {
-							scratch[r] *= row[r]
-						}
-					}
-					dst := acc[n][idx[n]]
-					if dst == nil {
-						dst = make([]float64, rank)
-						acc[n][idx[n]] = dst
-					}
-					for r := 0; r < rank; r++ {
-						dst[r] += scratch[r]
-					}
-				}
-			}
-		}
-		for n := range acc {
-			for row, vec := range acc[n] {
-				out = append(out, rdd.KV[RowKey, []float64]{K: RowKey{Mode: int16(n), Row: row}, V: vec})
-			}
-		}
-		out = append(out, rdd.KV[RowKey, []float64]{K: RowKey{Mode: -1}, V: []float64{norm2}})
-		return out, nil
-	})
-
-	bounds := l.modeBounds
-	partitioner := rdd.FuncPartitioner[RowKey](func(k RowKey, parts int) int {
-		if k.Mode < 0 {
-			return 0
-		}
-		p := bounds[k.Mode].PartitionOf(int(k.Row))
-		if p >= parts {
-			p = parts - 1
-		}
-		return p
-	})
-	reduced := rdd.ReduceByKeyPartitioned(partials, "mttkrp-reduce", l.parts, partitioner, func(a, b []float64) []float64 {
-		for i := range a {
-			a[i] += b[i]
-		}
-		return a
-	})
-	rows, err := reduced.Collect()
-	if err != nil {
-		return nil, 0, err
-	}
-	hs := make([]*mat.Dense, l.order)
-	for n := 0; n < l.order; n++ {
-		hs[n] = mat.NewDense(l.dims[n], rank)
-	}
-	var norm2 float64
-	for _, kv := range rows {
-		if kv.K.Mode < 0 {
-			norm2 += kv.V[0]
-			continue
-		}
-		copy(hs[kv.K.Mode].Row(int(kv.K.Row)), kv.V)
-	}
-	return hs, norm2, nil
-}
-
 // distributedGram computes A(n)ᵀA(n) = Σ_p A(n)ᵀ_(p)A(n)_(p) (Eq. 13): each
-// partition's local Gram is an R×R matrix, aggregated on the driver.
+// partition's local Gram is an R×R matrix, aggregated on the driver. The
+// product is symmetric, so each partition accumulates only the upper triangle
+// and mirrors it once before emitting — half the multiply-adds per row.
 func distributedGram(c *rdd.Cluster, f *mat.Dense, bounds part.Boundaries) (*mat.Dense, error) {
 	rank := f.Cols()
 	blocks := make([][][]float64, bounds.NumPartitions())
@@ -395,12 +355,19 @@ func distributedGram(c *rdd.Cluster, f *mat.Dense, bounds part.Boundaries) (*mat
 		g := make([]float64, rank*rank)
 		for _, row := range in {
 			for i := 0; i < rank; i++ {
-				if row[i] == 0 {
+				vi := row[i]
+				if vi == 0 {
 					continue
 				}
-				for j := 0; j < rank; j++ {
-					g[i*rank+j] += row[i] * row[j]
+				gi := g[i*rank : (i+1)*rank]
+				for j := i; j < rank; j++ {
+					gi[j] += vi * row[j]
 				}
+			}
+		}
+		for i := 1; i < rank; i++ {
+			for j := 0; j < i; j++ {
+				g[i*rank+j] = g[j*rank+i]
 			}
 		}
 		return [][]float64{g}, nil

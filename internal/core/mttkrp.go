@@ -1,0 +1,305 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"distenc/internal/mat"
+	"distenc/internal/rdd"
+)
+
+// PackedRows is the MTTKRP shuffle record: every partial H_n row one map task
+// sends to one reduce partition, packed as a row-id list plus a values slab
+// (len(Rows)×R, row-major). Packing drops the shuffle record count from
+// O(rows) gob-encoded KVs to O(P·N) slabs per map task; Mode -1 carries the
+// ‖E‖²_F side-channel in Vals[0]. The type implements rdd.BinaryRecord, so
+// shuffle blocks use the compact binary framing below instead of gob while
+// still flowing through the engine's BytesShuffled accounting.
+type PackedRows struct {
+	Mode int16
+	Rows []int32
+	Vals []float64
+}
+
+// AppendRecord implements rdd.BinaryRecord.
+func (p *PackedRows) AppendRecord(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(p.Mode))
+	buf = binary.AppendUvarint(buf, uint64(len(p.Rows)))
+	buf = binary.AppendUvarint(buf, uint64(len(p.Vals)))
+	for _, r := range p.Rows {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(r))
+	}
+	for _, v := range p.Vals {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+// DecodeRecord implements rdd.BinaryRecord.
+func (p *PackedRows) DecodeRecord(data []byte) ([]byte, error) {
+	if len(data) < 2 {
+		return nil, fmt.Errorf("core: packed record truncated at mode")
+	}
+	p.Mode = int16(binary.LittleEndian.Uint16(data))
+	data = data[2:]
+	nr, used := binary.Uvarint(data)
+	if used <= 0 {
+		return nil, fmt.Errorf("core: packed record truncated at row count")
+	}
+	data = data[used:]
+	nv, used := binary.Uvarint(data)
+	if used <= 0 {
+		return nil, fmt.Errorf("core: packed record truncated at value count")
+	}
+	data = data[used:]
+	if uint64(len(data)) < nr*4+nv*8 {
+		return nil, fmt.Errorf("core: packed record payload %d bytes, want %d", len(data), nr*4+nv*8)
+	}
+	p.Rows = make([]int32, nr)
+	for i := range p.Rows {
+		p.Rows[i] = int32(binary.LittleEndian.Uint32(data[i*4:]))
+	}
+	data = data[nr*4:]
+	p.Vals = make([]float64, nv)
+	for i := range p.Vals {
+		p.Vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+	}
+	return data[nv*8:], nil
+}
+
+// fusedScratch is the per-task workspace of the fused kernel, allocated once
+// per map task rather than per entry or per mode.
+type fusedScratch struct {
+	// left holds the N+1 prefix products with stride R:
+	// left[n·R : (n+1)·R] = ∗_{k<n} A(k)[i_k, :], so left[N·R:] is the full
+	// Hadamard product whose sum is the model value.
+	left []float64
+	// suf is the running suffix product with the residual folded in.
+	suf []float64
+	// rows caches the hoisted factor-row views of the current entry.
+	rows [][]float64
+}
+
+func newFusedScratch(order, rank int) *fusedScratch {
+	return &fusedScratch{
+		left: make([]float64, (order+1)*rank),
+		suf:  make([]float64, rank),
+		rows: make([][]float64, order),
+	}
+}
+
+// fusedBlockMTTKRP runs the fused residual + all-mode MTTKRP kernel over one
+// tensor block, accumulating mode-n partials into the flat slab acc[n]
+// (len(neededRows[n])×R, addressed through the precomputed local ids in loc)
+// and returning the block's ‖E‖²_F contribution.
+//
+// Per entry it computes the model value and all N partials with left-prefix /
+// right-suffix Hadamard products over hoisted factor rows — O(N·R) instead of
+// the O(N²·R) of recomputing the rank-R product once per mode — and, because
+// the layout sorts each block's entries mode-major, reuses the leading prefix
+// products across runs of entries that share their leading fibers (the
+// paper's row-wise fiber MTTKRP, §III-C).
+func fusedBlockMTTKRP(blk *TensorBlock, loc []int32, factors []*mat.Dense, rank int, acc [][]float64, s *fusedScratch) float64 {
+	order := blk.Order
+	nnz := blk.NNZ()
+	var norm2 float64
+	left := s.left
+	suf := s.suf
+	rows := s.rows
+	for r := 0; r < rank; r++ {
+		left[r] = 1
+	}
+	full := left[order*rank : (order+1)*rank : (order+1)*rank]
+	for e := 0; e < nnz; e++ {
+		idx := blk.Idx[e*order : (e+1)*order : (e+1)*order]
+		lidx := loc[e*order : (e+1)*order : (e+1)*order]
+		// Entries are sorted mode-major: prefixes up to the first differing
+		// mode are unchanged from the previous entry and are reused as-is.
+		firstDiff := 0
+		if e > 0 {
+			prev := blk.Idx[(e-1)*order : e*order]
+			for firstDiff < order && idx[firstDiff] == prev[firstDiff] {
+				firstDiff++
+			}
+		}
+		for n := firstDiff; n < order; n++ {
+			row := factors[n].Row(int(idx[n]))[:rank:rank]
+			rows[n] = row
+			src := left[n*rank : (n+1)*rank : (n+1)*rank]
+			dst := left[(n+1)*rank : (n+2)*rank : (n+2)*rank]
+			for r := 0; r < rank; r++ {
+				dst[r] = src[r] * row[r]
+			}
+		}
+		var model float64
+		for r := 0; r < rank; r++ {
+			model += full[r]
+		}
+		resid := blk.Val[e] - model
+		norm2 += resid * resid
+		// Backward sweep: suf = resid · ∗_{k>n} A(k)[i_k, :], so the mode-n
+		// partial is left[n] ⊙ suf — every mode in one pass, 3R flops each.
+		for r := 0; r < rank; r++ {
+			suf[r] = resid
+		}
+		for n := order - 1; n >= 0; n-- {
+			lf := left[n*rank : (n+1)*rank : (n+1)*rank]
+			li := int(lidx[n])
+			dst := acc[n][li*rank : (li+1)*rank : (li+1)*rank]
+			for r := 0; r < rank; r++ {
+				dst[r] += lf[r] * suf[r]
+			}
+			if n > 0 {
+				row := rows[n]
+				for r := 0; r < rank; r++ {
+					suf[r] *= row[r]
+				}
+			}
+		}
+	}
+	return norm2
+}
+
+// MTTKRPStage executes the per-iteration distributed stage and returns the
+// assembled H_n = E_(n)·U(n) matrices plus ‖E‖²_F.
+//
+// The map side ships each block the factor rows its non-zeros touch (counted
+// as shuffle traffic — the O(T·N·M·I·R) term of Lemma 3), runs the fused
+// kernel into one flat accumulator slab per mode, and emits one PackedRows
+// record per (destination partition, mode): the layout's sorted needed-row
+// lists make each destination a contiguous slice of the slab. The reduce side
+// sums the incoming slabs into its dense row ranges and returns one compacted
+// record per mode for the driver to scatter into H_n.
+func MTTKRPStage(c *rdd.Cluster, blocks *rdd.RDD[*TensorBlock], l *Layout, factors []*mat.Dense, opt DistOptions) ([]*mat.Dense, float64, error) {
+	rank := opt.Rank
+	// Bytes of factor rows shipped to each block, plus the flat accumulator
+	// slabs the kernel fills — both live simultaneously on a real executor,
+	// and the slabs are the same size as the shipped rows.
+	shipSizes := make([]int64, l.parts)
+	slabSizes := make([]int64, l.parts)
+	for p := 0; p < l.parts; p++ {
+		var rows int64
+		for n := 0; n < l.order; n++ {
+			rows += int64(len(l.neededRows[p][n]))
+		}
+		shipSizes[p] = rows * int64(rank) * 8
+		slabSizes[p] = shipSizes[p]
+	}
+	bounds := l.modeBounds
+
+	packed := rdd.ShuffleMap(blocks, "mttkrp-reduce", l.parts, func(tc *rdd.TaskCtx, p int, in []*TensorBlock) ([][]PackedRows, error) {
+		if err := tc.ChargeTransient(shipSizes[p] + slabSizes[p]); err != nil {
+			return nil, err
+		}
+		tc.Cluster().Metrics().BytesShuffled.Add(shipSizes[p])
+		acc := make([][]float64, l.order)
+		for n := range acc {
+			acc[n] = make([]float64, len(l.neededRows[p][n])*rank)
+		}
+		var norm2 float64
+		scratch := newFusedScratch(l.order, rank)
+		off := 0
+		for _, blk := range in {
+			norm2 += fusedBlockMTTKRP(blk, l.locIdx[p][off:off+len(blk.Idx)], factors, rank, acc, scratch)
+			off += len(blk.Idx)
+		}
+		out := make([][]PackedRows, l.parts)
+		for n := 0; n < l.order; n++ {
+			rows := l.neededRows[p][n]
+			runs := l.rowRuns[p][n]
+			for rp := 0; rp < len(runs)-1; rp++ {
+				lo, hi := runs[rp], runs[rp+1]
+				if lo == hi {
+					continue
+				}
+				out[rp] = append(out[rp], PackedRows{
+					Mode: int16(n),
+					Rows: rows[lo:hi],
+					Vals: acc[n][lo*rank : hi*rank],
+				})
+			}
+		}
+		// The residual-norm side-channel rides to reduce partition 0.
+		out[0] = append(out[0], PackedRows{Mode: -1, Vals: []float64{norm2}})
+		return out, nil
+	})
+
+	reduced := rdd.MapPartitions(packed, "mttkrp-reduce", func(tc *rdd.TaskCtx, rp int, in []PackedRows) ([]PackedRows, error) {
+		var norm2 float64
+		slabs := make([][]float64, l.order)
+		touched := make([][]bool, l.order)
+		for _, rec := range in {
+			if rec.Mode < 0 {
+				norm2 += rec.Vals[0]
+				continue
+			}
+			n := int(rec.Mode)
+			lo, hi := bounds[n].Range(rp)
+			if slabs[n] == nil {
+				if err := tc.ChargeTransient(int64(hi-lo) * int64(rank+1) * 8); err != nil {
+					return nil, err
+				}
+				slabs[n] = make([]float64, (hi-lo)*rank)
+				touched[n] = make([]bool, hi-lo)
+			}
+			for i, row := range rec.Rows {
+				li := int(row) - lo
+				touched[n][li] = true
+				dst := slabs[n][li*rank : (li+1)*rank : (li+1)*rank]
+				src := rec.Vals[i*rank : (i+1)*rank : (i+1)*rank]
+				for r := 0; r < rank; r++ {
+					dst[r] += src[r]
+				}
+			}
+		}
+		var out []PackedRows
+		for n := 0; n < l.order; n++ {
+			if slabs[n] == nil {
+				continue
+			}
+			lo, _ := bounds[n].Range(rp)
+			cnt := 0
+			for _, t := range touched[n] {
+				if t {
+					cnt++
+				}
+			}
+			rowsOut := make([]int32, 0, cnt)
+			valsOut := make([]float64, 0, cnt*rank)
+			for li, t := range touched[n] {
+				if !t {
+					continue
+				}
+				rowsOut = append(rowsOut, int32(lo+li))
+				valsOut = append(valsOut, slabs[n][li*rank:(li+1)*rank]...)
+			}
+			out = append(out, PackedRows{Mode: int16(n), Rows: rowsOut, Vals: valsOut})
+		}
+		if rp == 0 {
+			out = append(out, PackedRows{Mode: -1, Vals: []float64{norm2}})
+		}
+		return out, nil
+	})
+
+	recs, err := reduced.Collect()
+	if err != nil {
+		return nil, 0, err
+	}
+	hs := make([]*mat.Dense, l.order)
+	for n := 0; n < l.order; n++ {
+		hs[n] = mat.NewDense(l.dims[n], rank)
+	}
+	var norm2 float64
+	for _, rec := range recs {
+		if rec.Mode < 0 {
+			norm2 += rec.Vals[0]
+			continue
+		}
+		h := hs[rec.Mode]
+		for i, row := range rec.Rows {
+			copy(h.Row(int(row)), rec.Vals[i*rank:(i+1)*rank])
+		}
+	}
+	return hs, norm2, nil
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"testing"
+
+	"distenc/internal/rdd"
+	"distenc/internal/synth"
+)
+
+// benchStage builds a cached block layout once and times MTTKRPStage alone —
+// the per-iteration distributed hot path — isolated from the driver algebra
+// (Gram products, spectral updates, Eq. 16 solves) that CompleteDistributed
+// adds around it.
+func benchStage(b *testing.B, opt DistOptions) {
+	d := synth.LinearFactorDataset([]int{200, 200, 200}, 4, 50_000, 1)
+	opt.Options = opt.Options.withDefaults()
+	c := rdd.MustNewCluster(rdd.Config{Machines: 4})
+	defer c.Close()
+	if opt.Partitions <= 0 {
+		opt.Partitions = c.Machines()
+	}
+	layout := NewLayout(d.Tensor, opt)
+	blocks := layout.BlocksRDD(c)
+	blocks.Cache()
+	if err := blocks.Materialize(); err != nil {
+		b.Fatal(err)
+	}
+	factors := initFactors(d.Tensor.Dims, opt.Rank, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := MTTKRPStage(c, blocks, layout, factors, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMTTKRPStage(b *testing.B) {
+	benchStage(b, DistOptions{Options: Options{Rank: 8}})
+}
+
+func BenchmarkMTTKRPStageGrid(b *testing.B) {
+	benchStage(b, DistOptions{Options: Options{Rank: 8}, GridPartition: true})
+}

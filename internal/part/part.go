@@ -35,6 +35,25 @@ func (b Boundaries) PartitionOf(i int) int {
 	return sort.SearchInts(b.Ends, i+1)
 }
 
+// RunsOf splits rows — an ascending list of slice indices in [0, Size) —
+// into per-partition contiguous runs. The returned offsets have length
+// NumPartitions()+1 and rows[off[p]:off[p+1]] are exactly the entries of rows
+// that fall in partition p. One linear walk replaces a PartitionOf binary
+// search per row; the packed MTTKRP shuffle uses it to slice each block's
+// sorted needed-row lists into per-destination slabs.
+func (b Boundaries) RunsOf(rows []int32) []int {
+	off := make([]int, len(b.Ends)+1)
+	i := 0
+	for p, end := range b.Ends {
+		off[p] = i
+		for i < len(rows) && int(rows[i]) < end {
+			i++
+		}
+	}
+	off[len(b.Ends)] = i
+	return off
+}
+
 // Validate checks the boundary invariants.
 func (b Boundaries) Validate() error {
 	if len(b.Ends) == 0 {

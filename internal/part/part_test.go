@@ -138,3 +138,55 @@ func TestStatsAllZero(t *testing.T) {
 		t.Fatalf("zero-load imbalance = %v, want 1", st.Imbalance)
 	}
 }
+
+// RunsOf must agree with PartitionOf on every row: rows[off[p]:off[p+1]] are
+// exactly the rows PartitionOf assigns to p, for arbitrary boundaries and
+// arbitrary ascending row lists.
+func TestRunsOfMatchesPartitionOf(t *testing.T) {
+	f := func(seed uint64, parts uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		size := 1 + rng.IntN(200)
+		counts := make([]int64, size)
+		for i := range counts {
+			counts[i] = int64(rng.IntN(5))
+		}
+		b := Greedy(counts, 1+int(parts%16))
+		rows := make([]int32, 0, size)
+		for i := 0; i < size; i++ {
+			if rng.IntN(3) > 0 {
+				rows = append(rows, int32(i))
+			}
+		}
+		off := b.RunsOf(rows)
+		if len(off) != b.NumPartitions()+1 {
+			return false
+		}
+		if off[0] != 0 || off[len(off)-1] != len(rows) {
+			return false
+		}
+		for p := 0; p < b.NumPartitions(); p++ {
+			if off[p] > off[p+1] {
+				return false
+			}
+			for _, r := range rows[off[p]:off[p+1]] {
+				if b.PartitionOf(int(r)) != p {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunsOfEmpty(t *testing.T) {
+	b := Uniform(10, 3)
+	off := b.RunsOf(nil)
+	for _, o := range off {
+		if o != 0 {
+			t.Fatalf("offsets for empty rows = %v", off)
+		}
+	}
+}

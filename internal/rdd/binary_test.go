@@ -1,0 +1,189 @@
+package rdd
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+)
+
+// slabRec is a test record exercising the BinaryRecord fast path: a tag plus
+// a variable-length payload, framed like the packed MTTKRP records in
+// internal/core.
+type slabRec struct {
+	Tag  int32
+	Vals []float64
+}
+
+func (s *slabRec) AppendRecord(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.Tag))
+	buf = binary.AppendUvarint(buf, uint64(len(s.Vals)))
+	for _, v := range s.Vals {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(v*1e6)))
+	}
+	return buf
+}
+
+func (s *slabRec) DecodeRecord(data []byte) ([]byte, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("short record")
+	}
+	s.Tag = int32(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	n, used := binary.Uvarint(data)
+	if used <= 0 {
+		return nil, fmt.Errorf("bad length")
+	}
+	data = data[used:]
+	if uint64(len(data)) < n*8 {
+		return nil, fmt.Errorf("short payload")
+	}
+	s.Vals = make([]float64, n)
+	for i := range s.Vals {
+		s.Vals[i] = float64(int64(binary.LittleEndian.Uint64(data[i*8:]))) / 1e6
+	}
+	return data[n*8:], nil
+}
+
+func TestBinaryRecordBlockRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	recs := make([]slabRec, 13)
+	for i := range recs {
+		recs[i].Tag = int32(rng.IntN(1000) - 500)
+		recs[i].Vals = make([]float64, rng.IntN(9))
+		for j := range recs[i].Vals {
+			recs[i].Vals[j] = float64(rng.IntN(2_000_000)-1_000_000) / 1e6
+		}
+	}
+	data, err := encodeBlock(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeBlock[slabRec](data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].Tag != recs[i].Tag {
+			t.Fatalf("record %d tag %d, want %d", i, got[i].Tag, recs[i].Tag)
+		}
+		if len(got[i].Vals) != len(recs[i].Vals) {
+			t.Fatalf("record %d has %d vals, want %d", i, len(got[i].Vals), len(recs[i].Vals))
+		}
+		for j := range recs[i].Vals {
+			if got[i].Vals[j] != recs[i].Vals[j] {
+				t.Fatalf("record %d val %d = %v, want %v", i, j, got[i].Vals[j], recs[i].Vals[j])
+			}
+		}
+	}
+}
+
+func TestBinaryRecordEmptyBlock(t *testing.T) {
+	data, err := encodeBlock([]slabRec(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeBlock[slabRec](data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("decoded %d records from empty block", len(got))
+	}
+}
+
+func TestBinaryRecordCorruptBlock(t *testing.T) {
+	recs := []slabRec{{Tag: 7, Vals: []float64{1, 2, 3}}}
+	data, err := encodeBlock(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeBlock[slabRec](data[:len(data)-3]); err == nil {
+		t.Fatal("truncated block decoded without error")
+	}
+	if _, err := decodeBlock[slabRec](append(data, 0xFF)); err == nil {
+		t.Fatal("trailing garbage decoded without error")
+	}
+}
+
+// ShuffleMap must deliver each map task's bucket p to reduce partition p, in
+// map-partition order, through the same serialized path as the pair shuffles.
+func TestShuffleMapRoutesBuckets(t *testing.T) {
+	c := MustNewCluster(Config{Machines: 3})
+	src := Parallelize(c, "ints", []int{1, 2, 3, 4, 5, 6, 7, 8}, 4)
+	const parts = 3
+	out := ShuffleMap(src, "route", parts, func(tc *TaskCtx, mp int, in []int) ([][]slabRec, error) {
+		buckets := make([][]slabRec, parts)
+		for _, v := range in {
+			rp := v % parts
+			buckets[rp] = append(buckets[rp], slabRec{Tag: int32(v), Vals: []float64{float64(mp)}})
+		}
+		return buckets, nil
+	})
+	for rp := 0; rp < parts; rp++ {
+		recs, err := collectPartition(out, rp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastMap := int32(-1)
+		for _, r := range recs {
+			if int(r.Tag)%parts != rp {
+				t.Fatalf("partition %d received tag %d", rp, r.Tag)
+			}
+			if mp := int32(r.Vals[0]); mp < lastMap {
+				t.Fatalf("partition %d records out of map order: %d after %d", rp, mp, lastMap)
+			} else {
+				lastMap = mp
+			}
+		}
+	}
+	if c.Metrics().BytesShuffled.Load() == 0 {
+		t.Fatal("ShuffleMap moved no bytes")
+	}
+}
+
+func TestShuffleMapBucketCountMismatch(t *testing.T) {
+	c := MustNewCluster(Config{Machines: 2})
+	src := Parallelize(c, "ints", []int{1, 2}, 2)
+	out := ShuffleMap(src, "bad", 3, func(tc *TaskCtx, mp int, in []int) ([][]slabRec, error) {
+		return make([][]slabRec, 2), nil // wrong bucket count
+	})
+	if _, err := out.Collect(); err == nil {
+		t.Fatal("mismatched bucket count did not error")
+	}
+}
+
+// collectPartition materializes a single partition of r.
+func collectPartition[T any](r *RDD[T], p int) ([]T, error) {
+	if err := r.ensureDeps(); err != nil {
+		return nil, err
+	}
+	var out []T
+	err := r.c.runStage(fmt.Sprintf("collect-part:%s:%d", r.name, p), 1, func(tc *TaskCtx, _ int) error {
+		items, err := r.computePartition(tc, p)
+		out = items
+		return err
+	})
+	return out, err
+}
+
+// The gob fallback must still work for types without a BinaryRecord framing.
+func TestGobBlockStillRoundTrips(t *testing.T) {
+	type plain struct{ A, B int }
+	recs := []plain{{1, 2}, {3, 4}}
+	data, err := encodeBlock(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeBlock[plain](data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("round trip = %v, want %v", got, recs)
+	}
+}

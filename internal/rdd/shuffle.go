@@ -129,6 +129,45 @@ func (e *exchange[R]) fetch(rp int) ([]R, error) {
 	return out, nil
 }
 
+// ShuffleMap is the engine's lowest-level wide transformation: bucket runs
+// once per map partition and returns the records destined for each of the
+// reduceParts reduce partitions; the result RDD's partition p holds the
+// concatenation of every map task's bucket p (in map-partition order, so the
+// output is deterministic). The pair-RDD shuffles are equivalent to this plus
+// per-key hashing; callers whose records are already grouped by destination —
+// such as the packed MTTKRP slab records, whose sorted row ranges map to
+// contiguous reduce partitions — use it directly to shuffle O(parts) records
+// instead of O(keys).
+func ShuffleMap[T, R any](r *RDD[T], name string, reduceParts int,
+	bucket func(tc *TaskCtx, mapPart int, in []T) ([][]R, error)) *RDD[R] {
+	if reduceParts <= 0 {
+		reduceParts = r.parts
+	}
+	ex := newExchange(r.c, name, r.deps, r.parts, reduceParts, func(tc *TaskCtx, mapPart int) ([][]R, error) {
+		in, err := r.computePartition(tc, mapPart)
+		if err != nil {
+			return nil, err
+		}
+		out, err := bucket(tc, mapPart, in)
+		if err != nil {
+			return nil, err
+		}
+		if len(out) != reduceParts {
+			return nil, fmt.Errorf("rdd: ShuffleMap %s map task %d produced %d buckets, want %d", name, mapPart, len(out), reduceParts)
+		}
+		return out, nil
+	})
+	return &RDD[R]{
+		c:     r.c,
+		name:  name,
+		parts: reduceParts,
+		deps:  []dep{ex},
+		compute: func(tc *TaskCtx, p int) ([]R, error) {
+			return ex.fetch(p)
+		},
+	}
+}
+
 // diskDelay models HDFS/disk latency proportional to the spilled bytes.
 func (c *Cluster) diskDelay(n int) {
 	if c.cfg.DiskLatencyPerMB <= 0 {

@@ -2,7 +2,9 @@ package rdd
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"fmt"
 	"reflect"
 )
 
@@ -39,8 +41,39 @@ func EstimateSize(v any) int64 {
 	return int64(buf.Len())
 }
 
-// encodeBlock gob-encodes a shuffle block.
+// BinaryRecord is implemented (on the pointer receiver) by shuffle record
+// types that provide their own compact binary framing. Blocks of such records
+// skip encoding/gob entirely: encodeBlock writes a record count followed by
+// each record's self-delimiting frame, and decodeBlock reverses it. The
+// resulting byte counts still flow through the same BytesShuffled /
+// DiskBytes accounting, so the engine's Lemma 3 bookkeeping stays honest —
+// the packed MTTKRP slab records in internal/core are the motivating user.
+type BinaryRecord interface {
+	// AppendRecord appends the record's frame to buf and returns it.
+	AppendRecord(buf []byte) []byte
+	// DecodeRecord parses one frame from the front of data into the
+	// receiver and returns the remaining bytes.
+	DecodeRecord(data []byte) (rest []byte, err error)
+}
+
+// isBinaryRecord reports whether *R implements BinaryRecord. The choice is a
+// property of the type, so the encode and decode sides always agree on the
+// wire format without any header byte.
+func isBinaryRecord[R any]() bool {
+	_, ok := any(new(R)).(BinaryRecord)
+	return ok
+}
+
+// encodeBlock serializes a shuffle block: the BinaryRecord fast path when the
+// record type provides one, encoding/gob otherwise.
 func encodeBlock[R any](records []R) ([]byte, error) {
+	if isBinaryRecord[R]() {
+		buf := binary.AppendUvarint(nil, uint64(len(records)))
+		for i := range records {
+			buf = any(&records[i]).(BinaryRecord).AppendRecord(buf)
+		}
+		return buf, nil
+	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(records); err != nil {
 		return nil, err
@@ -50,6 +83,25 @@ func encodeBlock[R any](records []R) ([]byte, error) {
 
 // decodeBlock reverses encodeBlock.
 func decodeBlock[R any](data []byte) ([]R, error) {
+	if isBinaryRecord[R]() {
+		n, used := binary.Uvarint(data)
+		if used <= 0 {
+			return nil, fmt.Errorf("rdd: corrupt binary shuffle block header")
+		}
+		data = data[used:]
+		records := make([]R, n)
+		for i := range records {
+			var err error
+			data, err = any(&records[i]).(BinaryRecord).DecodeRecord(data)
+			if err != nil {
+				return nil, fmt.Errorf("rdd: decoding binary shuffle record %d/%d: %w", i, n, err)
+			}
+		}
+		if len(data) != 0 {
+			return nil, fmt.Errorf("rdd: %d trailing bytes after binary shuffle block", len(data))
+		}
+		return records, nil
+	}
 	var records []R
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&records); err != nil {
 		return nil, err
