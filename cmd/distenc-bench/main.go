@@ -15,6 +15,8 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -38,6 +40,7 @@ var experiments = []struct {
 	{"table3", "Table III concept discovery", func(w io.Writer, p bench.Profile) { bench.TableIII(w, p) }},
 	{"lemmas", "Lemmas 1–3 accounting", func(w io.Writer, p bench.Profile) { bench.Lemmas(w, p) }},
 	{"ablations", "§III design-choice ablations", func(w io.Writer, p bench.Profile) { bench.Ablations(w, p) }},
+	{"phases", "per-iteration phase breakdown", func(w io.Writer, p bench.Profile) { bench.Phases(w, p) }},
 }
 
 func main() {
@@ -47,10 +50,44 @@ func main() {
 		small    = flag.Bool("small", false, "seconds-scale smoke profile")
 		seed     = flag.Uint64("seed", 1, "workload seed")
 		machines = flag.Int("machines", 4, "simulated machines for non-scalability experiments")
+		traceOut = flag.String("trace", "", "write a Chrome-trace JSON of the phases experiment's run to this file")
+		stageSum = flag.Bool("stage-summary", false, "print the per-stage engine table in the phases experiment")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
 
-	p := bench.Profile{Small: *small, Seed: *seed, Machines: *machines}
+	if *cpuProf != "" {
+		pf, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memProf == "" {
+			return
+		}
+		mf, err := os.Create(*memProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			log.Fatal(err)
+		}
+		if err := mf.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}()
+
+	p := bench.Profile{
+		Small: *small, Seed: *seed, Machines: *machines,
+		TraceFile: *traceOut, StageSummary: *stageSum,
+	}
 	ran := 0
 	start := time.Now()
 	for _, e := range experiments {

@@ -11,6 +11,12 @@
 // per observation. Similarity files: "nodes N" then "i j weight" lines.
 // Output: one factors-modeK.txt per mode (rows of the I_k×R factor matrix),
 // from which any cell (i1,…,iN) is predicted as Σ_r Π_k A_k[i_k,r].
+//
+// Observability: -stage-summary prints the engine's per-stage timing/shuffle
+// table and the solver's per-iteration phase breakdown; -trace run.json
+// writes a Chrome-trace JSON (open in chrome://tracing or ui.perfetto.dev)
+// with one lane per simulated machine and a driver lane for stage and
+// algebra spans. -cpuprofile/-memprofile write standard pprof profiles.
 package main
 
 import (
@@ -20,6 +26,8 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -60,6 +68,11 @@ func main() {
 		verbose  = flag.Bool("v", false, "print per-iteration progress")
 		nonneg   = flag.Bool("nonneg", false, "enforce the non-negativity constraint")
 		predict  = flag.String("predict", "", "after training, predict the cells listed in this file (one \"i1 i2 … iN\" line each; \"-\" for stdin)")
+
+		traceOut = flag.String("trace", "", "write a Chrome-trace JSON (chrome://tracing, Perfetto) of every stage, task and driver span to this file (needs -machines > 0)")
+		stageSum = flag.Bool("stage-summary", false, "print the per-stage timing/shuffle table and per-iteration phase breakdown after solving")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	sims := simFlags{}
 	flag.Var(sims, "sim", "per-mode similarity file as MODE=FILE (repeatable)")
@@ -68,6 +81,16 @@ func main() {
 	if *input == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *cpuProf != "" {
+		pf, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 	f, err := os.Open(*input)
 	if err != nil {
@@ -117,11 +140,20 @@ func main() {
 	}
 
 	var res *distenc.Result
+	var c *distenc.Cluster
 	if *machines <= 0 {
+		if *traceOut != "" {
+			log.Fatal("-trace needs the distributed solver (-machines > 0)")
+		}
 		res, err = distenc.Complete(t, similarities, opt)
 	} else {
-		var c *distenc.Cluster
-		c, err = distenc.NewCluster(distenc.ClusterConfig{Machines: *machines})
+		// Per-task records cost memory proportional to task count, so the
+		// engine only keeps them when a trace was asked for; the per-stage
+		// rollups behind -stage-summary are always on.
+		c, err = distenc.NewCluster(distenc.ClusterConfig{
+			Machines:  *machines,
+			TaskTrace: *traceOut != "",
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -136,6 +168,38 @@ func main() {
 		res.Iters, res.Converged, final.TrainRMSE, res.Elapsed.Seconds())
 	if *verbose {
 		fmt.Print(res.Trace)
+	}
+	if *stageSum {
+		if c != nil {
+			fmt.Print(c.Summary())
+		}
+		fmt.Print(res.Phases)
+	}
+	if *traceOut != "" && c != nil {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := c.WriteChromeTrace(tf); err != nil {
+			log.Fatal(err)
+		}
+		if err := tf.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s (load in chrome://tracing or ui.perfetto.dev)", *traceOut)
+	}
+	if *memProf != "" {
+		mf, err := os.Create(*memProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			log.Fatal(err)
+		}
+		if err := mf.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	if err := os.MkdirAll(*output, 0o755); err != nil {

@@ -2,6 +2,7 @@ package distenc
 
 import (
 	"fmt"
+	"math"
 	"math/rand/v2"
 
 	"distenc/internal/metrics"
@@ -26,13 +27,15 @@ func CrossValidateRank(t *Tensor, sims []*Similarity, opt Options, ranks []int, 
 	if len(ranks) == 0 {
 		return nil, 0, fmt.Errorf("distenc: no candidate ranks")
 	}
+	if folds > 255 {
+		return nil, 0, fmt.Errorf("distenc: at most 255 folds, got %d", folds)
+	}
 	if t.NNZ() < folds {
 		return nil, 0, fmt.Errorf("distenc: %d observations cannot form %d folds", t.NNZ(), folds)
 	}
 	assignments := foldAssignments(t.NNZ(), folds, seed)
 
 	results := make([]CVResult, 0, len(ranks))
-	bestRank, bestScore := 0, 0.0
 	for _, r := range ranks {
 		var scores []float64
 		for f := 0; f < folds; f++ {
@@ -47,20 +50,46 @@ func CrossValidateRank(t *Tensor, sims []*Similarity, opt Options, ranks []int, 
 		}
 		mean, std := metrics.MeanStd(scores)
 		results = append(results, CVResult{Rank: r, MeanRMSE: mean, StdRMSE: std})
-		if bestRank == 0 || mean < bestScore {
-			bestRank, bestScore = r, mean
-		}
+	}
+	bestRank, err := selectBestRank(results)
+	if err != nil {
+		return results, 0, err
 	}
 	return results, bestRank, nil
 }
 
-// foldAssignments deals every entry into one of `folds` buckets uniformly.
+// selectBestRank returns the candidate with the lowest finite mean RMSE.
+// Non-finite means (a diverged fold yields NaN/Inf) are skipped rather than
+// compared: a NaN encountered first would otherwise poison the running best,
+// since every later `mean < NaN` is false.
+func selectBestRank(results []CVResult) (int, error) {
+	bestRank, bestScore, found := 0, 0.0, false
+	for _, r := range results {
+		if math.IsNaN(r.MeanRMSE) || math.IsInf(r.MeanRMSE, 0) {
+			continue
+		}
+		if !found || r.MeanRMSE < bestScore {
+			bestRank, bestScore, found = r.Rank, r.MeanRMSE, true
+		}
+	}
+	if !found {
+		return 0, fmt.Errorf("distenc: no candidate rank produced a finite cross-validated RMSE")
+	}
+	return bestRank, nil
+}
+
+// foldAssignments deals every entry into one of `folds` buckets with a
+// shuffled round-robin deal, so fold sizes differ by at most one and no fold
+// can come up empty (an empty fold's RMSE of 0 would silently skew model
+// selection downward) — unlike independent uniform draws, which leave a fold
+// empty with probability ≈ folds·(1−1/folds)^nnz on small tensors.
 func foldAssignments(nnz, folds int, seed uint64) []uint8 {
 	rng := rand.New(rand.NewPCG(seed, 0xf01d5))
 	out := make([]uint8, nnz)
 	for i := range out {
-		out[i] = uint8(rng.IntN(folds))
+		out[i] = uint8(i % folds)
 	}
+	rng.Shuffle(nnz, func(i, j int) { out[i], out[j] = out[j], out[i] })
 	return out
 }
 

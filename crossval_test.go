@@ -1,6 +1,7 @@
 package distenc
 
 import (
+	"math"
 	"testing"
 )
 
@@ -41,6 +42,71 @@ func TestCrossValidateRankValidation(t *testing.T) {
 	tiny.Append([]int32{0, 0}, 1)
 	if _, _, err := CrossValidateRank(tiny, nil, Options{}, []int{2}, 3, 1); err == nil {
 		t.Fatal("too few observations must fail")
+	}
+}
+
+// A NaN mean (a diverged fold) must not poison the min-selection: before the
+// fix, a NaN encountered first made every later `mean < best` comparison
+// false, so the broken candidate "won".
+func TestSelectBestRankSkipsNonFinite(t *testing.T) {
+	got, err := selectBestRank([]CVResult{
+		{Rank: 2, MeanRMSE: math.NaN()},
+		{Rank: 4, MeanRMSE: 0.8},
+		{Rank: 8, MeanRMSE: math.Inf(1)},
+		{Rank: 16, MeanRMSE: 0.9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4 {
+		t.Fatalf("selectBestRank = %d, want 4", got)
+	}
+	if _, err := selectBestRank([]CVResult{
+		{Rank: 2, MeanRMSE: math.NaN()},
+		{Rank: 4, MeanRMSE: math.Inf(1)},
+	}); err == nil {
+		t.Fatal("all-non-finite candidates must error, not return rank 0")
+	}
+}
+
+// The shuffled round-robin deal must leave no fold empty and keep sizes
+// within one of each other — independent uniform draws could empty a fold on
+// small tensors, and an empty fold's RMSE of 0 skews model selection.
+func TestFoldAssignmentsBalanced(t *testing.T) {
+	for _, tc := range []struct{ nnz, folds int }{
+		{10, 3}, {11, 10}, {100, 7}, {30, 30},
+	} {
+		for seed := uint64(0); seed < 5; seed++ {
+			assign := foldAssignments(tc.nnz, tc.folds, seed)
+			counts := make([]int, tc.folds)
+			for _, f := range assign {
+				counts[f]++
+			}
+			lo, hi := tc.nnz, 0
+			for f, n := range counts {
+				if n == 0 {
+					t.Fatalf("nnz=%d folds=%d seed=%d: fold %d empty", tc.nnz, tc.folds, seed, f)
+				}
+				lo, hi = min(lo, n), max(hi, n)
+			}
+			if hi-lo > 1 {
+				t.Fatalf("nnz=%d folds=%d seed=%d: fold sizes spread %d..%d", tc.nnz, tc.folds, seed, lo, hi)
+			}
+		}
+	}
+	// Different seeds must deal differently (it is a shuffle, not a fixed
+	// striping that would correlate folds with storage order).
+	a := foldAssignments(50, 5, 1)
+	b := foldAssignments(50, 5, 2)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("fold deal ignores the seed")
 	}
 }
 

@@ -37,6 +37,12 @@ type Profile struct {
 	DiskLatencyPerMB time.Duration
 	// Seed drives every generator.
 	Seed uint64
+	// TraceFile, when non-empty, makes the Phases experiment record
+	// per-task spans and write a Chrome-trace JSON of its run to this path.
+	TraceFile string
+	// StageSummary makes the Phases experiment print the engine's
+	// per-stage timing/shuffle table alongside the phase breakdown.
+	StageSummary bool
 }
 
 func (p Profile) withDefaults() Profile {

@@ -5,6 +5,7 @@ import (
 	"math"
 	"slices"
 	"sort"
+	"strings"
 	"time"
 
 	"distenc/internal/graph"
@@ -105,12 +106,19 @@ func CompleteDistributed(c *rdd.Cluster, t *sptensor.Tensor, sims []*graph.Simil
 	st := newSolverState(t, sp, opt.Options)
 	st.resid = nil // the stage computes residuals; never materialize driver-side
 	start := time.Now()
+	defer c.SetStageTag("")
 
 	for st.iter = 0; st.iter < opt.MaxIter; st.iter++ {
+		// Tag this iteration's stages so the stage log, task trace and
+		// Chrome-trace export attribute every span to its iteration.
+		c.SetStageTag(fmt.Sprintf("iter=%d", st.iter))
+		mark := c.StageLogLen()
+		iterStart := time.Now()
 		hs, residNorm2, err := MTTKRPStage(c, blocksRDD, layout, st.factors, opt)
 		if err != nil {
 			return nil, err
 		}
+		gramStart := time.Now()
 		grams := make([]*mat.Dense, t.Order())
 		for n, f := range st.factors {
 			if opt.DistributeGram {
@@ -123,8 +131,33 @@ func CompleteDistributed(c *rdd.Cluster, t *sptensor.Tensor, sims []*graph.Simil
 				grams[n] = mat.Gram(f)
 			}
 		}
+		gramDur := time.Since(gramStart)
+		if !opt.DistributeGram {
+			c.RecordDriverSpan("gram", gramStart, gramDur)
+		}
+		drvStart := time.Now()
 		next, bs := st.iterateWith(grams, func(mode int) *mat.Dense { return hs[mode] })
 		delta := st.advanceNoResid(next, bs)
+		drvDur := time.Since(drvStart)
+		// Driver algebra (spectral B updates, Eq. 16 solves, Y/η updates)
+		// runs between stages and is invisible to stage accounting.
+		c.RecordDriverSpan("driver-algebra", drvStart, drvDur)
+		ph := metrics.PhaseTimes{
+			Iter:   st.iter,
+			Gram:   gramDur,
+			Driver: drvDur,
+			Total:  time.Since(iterStart),
+		}
+		for _, s := range c.StageLogSince(mark) {
+			switch {
+			case strings.Contains(s.Name, "mttkrp-map"):
+				ph.MTTKRPMap += s.Wall
+			case strings.Contains(s.Name, "mttkrp-reduce"):
+				ph.MTTKRPReduce += s.Wall
+			}
+			ph.BytesShuffled += s.BytesShuffled
+		}
+		st.phases = append(st.phases, ph)
 		point := metrics.ConvergencePoint{
 			Iter:    st.iter,
 			Elapsed: time.Since(start),

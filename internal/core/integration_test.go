@@ -28,7 +28,7 @@ func TestDisTenCSurvivesTaskFailures(t *testing.T) {
 	faulty := rdd.MustNewCluster(rdd.Config{Machines: 3})
 	defer faulty.Close()
 	faulty.InjectTaskFailures("collect:mttkrp-reduce", 2)
-	faulty.InjectTaskFailures("shuffle-write:mttkrp-reduce", 1)
+	faulty.InjectTaskFailures("shuffle-write:mttkrp-map", 1)
 	got, err := CompleteDistributed(faulty, d.Tensor, d.Sims, DistOptions{Options: opts})
 	if err != nil {
 		t.Fatal(err)

@@ -53,6 +53,12 @@ func (p *PackedRows) DecodeRecord(data []byte) ([]byte, error) {
 		return nil, fmt.Errorf("core: packed record truncated at value count")
 	}
 	data = data[used:]
+	// Bound the counts by the payload before doing arithmetic on them: nr
+	// and nv come off the wire, so nr*4+nv*8 can wrap uint64 and slip past a
+	// naive length check straight into a huge (or panicking) allocation.
+	if nr > uint64(len(data))/4 || nv > uint64(len(data))/8 {
+		return nil, fmt.Errorf("core: packed record claims %d rows, %d values in a %d-byte payload", nr, nv, len(data))
+	}
 	if uint64(len(data)) < nr*4+nv*8 {
 		return nil, fmt.Errorf("core: packed record payload %d bytes, want %d", len(data), nr*4+nv*8)
 	}
@@ -170,7 +176,10 @@ func fusedBlockMTTKRP(blk *TensorBlock, loc []int32, factors []*mat.Dense, rank 
 // record per (destination partition, mode): the layout's sorted needed-row
 // lists make each destination a contiguous slice of the slab. The reduce side
 // sums the incoming slabs into its dense row ranges and returns one compacted
-// record per mode for the driver to scatter into H_n.
+// record per mode for the driver to scatter into H_n. The two sides run as
+// distinct named stages — "mttkrp-map" (shuffle write) and "mttkrp-reduce"
+// (collect) — so stage logs, phase attribution and fault-injection prefixes
+// can tell the kernel from the reduction.
 func MTTKRPStage(c *rdd.Cluster, blocks *rdd.RDD[*TensorBlock], l *Layout, factors []*mat.Dense, opt DistOptions) ([]*mat.Dense, float64, error) {
 	rank := opt.Rank
 	// Bytes of factor rows shipped to each block, plus the flat accumulator
@@ -188,11 +197,11 @@ func MTTKRPStage(c *rdd.Cluster, blocks *rdd.RDD[*TensorBlock], l *Layout, facto
 	}
 	bounds := l.modeBounds
 
-	packed := rdd.ShuffleMap(blocks, "mttkrp-reduce", l.parts, func(tc *rdd.TaskCtx, p int, in []*TensorBlock) ([][]PackedRows, error) {
+	packed := rdd.ShuffleMap(blocks, "mttkrp-map", l.parts, func(tc *rdd.TaskCtx, p int, in []*TensorBlock) ([][]PackedRows, error) {
 		if err := tc.ChargeTransient(shipSizes[p] + slabSizes[p]); err != nil {
 			return nil, err
 		}
-		tc.Cluster().Metrics().BytesShuffled.Add(shipSizes[p])
+		tc.CountShuffled(shipSizes[p])
 		acc := make([][]float64, l.order)
 		for n := range acc {
 			acc[n] = make([]float64, len(l.neededRows[p][n])*rank)
@@ -237,7 +246,10 @@ func MTTKRPStage(c *rdd.Cluster, blocks *rdd.RDD[*TensorBlock], l *Layout, facto
 			n := int(rec.Mode)
 			lo, hi := bounds[n].Range(rp)
 			if slabs[n] == nil {
-				if err := tc.ChargeTransient(int64(hi-lo) * int64(rank+1) * 8); err != nil {
+				// One rank-wide float64 row plus one byte of touched-bitmap
+				// per row — not (rank+1) full words, which over-charged the
+				// bitmap 8×.
+				if err := tc.ChargeTransient(int64(hi-lo) * (int64(rank)*8 + 1)); err != nil {
 					return nil, err
 				}
 				slabs[n] = make([]float64, (hi-lo)*rank)

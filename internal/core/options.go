@@ -121,6 +121,10 @@ type Result struct {
 	Converged bool
 	// Trace records per-iteration training error and timing.
 	Trace metrics.Trace
+	// Phases decomposes each iteration into MTTKRP map/reduce, Gram, and
+	// driver-algebra time (stage walls for the distributed solver, in-process
+	// section timers for the serial one — see metrics.PhaseTimes).
+	Phases metrics.PhaseBreakdown
 	// Elapsed is the total wall-clock training time.
 	Elapsed time.Duration
 }

@@ -33,14 +33,33 @@ func Complete(t *sptensor.Tensor, sims []*graph.Similarity, opt Options) (*Resul
 	st := newSolverState(t, sp, opt)
 	start := time.Now()
 	for st.iter = 0; st.iter < opt.MaxIter; st.iter++ {
+		iterStart := time.Now()
 		grams := make([]*mat.Dense, t.Order())
 		for n, f := range st.factors {
 			grams[n] = mat.Gram(f)
 		}
+		gramDur := time.Since(iterStart)
+		// The MTTKRP kernel and the residual refresh are the serial
+		// counterparts of DisTenC's map stage, so both count toward the
+		// MTTKRPMap phase and the timing breakdown stays comparable across
+		// solvers.
+		var kernel time.Duration
 		next, bs := st.iterateWith(grams, func(mode int) *mat.Dense {
-			return sptensor.MTTKRP(st.resid, st.factors, mode, st.scratch)
+			t0 := time.Now()
+			h := sptensor.MTTKRP(st.resid, st.factors, mode, st.scratch)
+			kernel += time.Since(t0)
+			return h
 		})
 		delta := st.advance(next, bs)
+		kernel += st.residDur
+		iterDur := time.Since(iterStart)
+		st.phases = append(st.phases, metrics.PhaseTimes{
+			Iter:      st.iter,
+			MTTKRPMap: kernel,
+			Gram:      gramDur,
+			Driver:    iterDur - kernel - gramDur,
+			Total:     iterDur,
+		})
 		point := metrics.ConvergencePoint{
 			Iter:      st.iter,
 			Elapsed:   time.Since(start),
@@ -76,6 +95,8 @@ type solverState struct {
 	consensus float64
 	converged bool
 	trace     metrics.Trace
+	phases    metrics.PhaseBreakdown
+	residDur  time.Duration // time of the last residual refresh in advance
 	scratch   []float64
 }
 
@@ -163,7 +184,9 @@ func (st *solverState) updateAux(n int) *mat.Dense {
 // max_n ‖A_{t+1}−A_t‖²_F.
 func (st *solverState) advance(next, bs []*mat.Dense) float64 {
 	d := st.advanceNoResid(next, bs)
+	t0 := time.Now()
 	st.resid = sptensor.Residual(st.t, sptensor.NewKruskal(st.factors...))
+	st.residDur = time.Since(t0)
 	return d
 }
 
@@ -240,6 +263,7 @@ func (st *solverState) result(start time.Time) *Result {
 		Iters:     st.iter,
 		Converged: st.converged,
 		Trace:     st.trace,
+		Phases:    st.phases,
 		Elapsed:   time.Since(start),
 	}
 }

@@ -83,6 +83,70 @@ func (t Trace) String() string {
 	return out
 }
 
+// PhaseTimes decomposes one solver iteration into its phases: the
+// distributed MTTKRP map (fused residual+partials kernel) and reduce stages,
+// the Gram-matrix section, and the driver-side dense algebra (spectral B
+// updates, Eq. 16 solves, Y/η bookkeeping) that stage logs cannot see. The
+// serial solver fills the same struct (MTTKRPReduce = 0, the kernel time in
+// MTTKRPMap) so serial and distributed runs are phase-comparable. Total is
+// the full iteration wall clock; Total minus the named phases is scheduling
+// and assembly overhead.
+type PhaseTimes struct {
+	Iter          int
+	MTTKRPMap     time.Duration
+	MTTKRPReduce  time.Duration
+	Gram          time.Duration
+	Driver        time.Duration
+	Total         time.Duration
+	BytesShuffled int64
+}
+
+// PhaseBreakdown is the per-iteration phase record of a run.
+type PhaseBreakdown []PhaseTimes
+
+// Totals sums the breakdown across iterations (Iter is the iteration count).
+func (p PhaseBreakdown) Totals() PhaseTimes {
+	var t PhaseTimes
+	t.Iter = len(p)
+	for _, x := range p {
+		t.MTTKRPMap += x.MTTKRPMap
+		t.MTTKRPReduce += x.MTTKRPReduce
+		t.Gram += x.Gram
+		t.Driver += x.Driver
+		t.Total += x.Total
+		t.BytesShuffled += x.BytesShuffled
+	}
+	return t
+}
+
+// String renders the per-iteration phase table plus a totals row.
+func (p PhaseBreakdown) String() string {
+	if len(p) == 0 {
+		return ""
+	}
+	out := fmt.Sprintf("%-6s %12s %12s %12s %12s %12s %12s\n",
+		"iter", "mttkrp-map", "mttkrp-red", "gram", "driver", "total", "shuffledB")
+	row := func(label string, x PhaseTimes) string {
+		return fmt.Sprintf("%-6s %12s %12s %12s %12s %12s %12d\n",
+			label, round(x.MTTKRPMap), round(x.MTTKRPReduce), round(x.Gram),
+			round(x.Driver), round(x.Total), x.BytesShuffled)
+	}
+	for _, x := range p {
+		out += row(fmt.Sprint(x.Iter), x)
+	}
+	out += row("TOTAL", p.Totals())
+	return out
+}
+
+func round(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond)
+	default:
+		return d.Round(time.Microsecond)
+	}
+}
+
 // MeanStd returns the mean and (population) standard deviation of xs —
 // experiments report 5-run averages as the paper does.
 func MeanStd(xs []float64) (mean, std float64) {

@@ -32,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -83,6 +84,11 @@ type Config struct {
 	// with SimulatedTime this yields honest machine-scalability curves on
 	// hosts with fewer cores than simulated machines.
 	SerializeTasks bool
+	// TaskTrace records one TaskRecord per task attempt (see Cluster.Trace
+	// and the Chrome-trace exporter). Off by default: the per-stage rollups
+	// in StageLog are always collected, the per-task log only when asked,
+	// so tracing never taxes benchmark runs that don't want it.
+	TaskTrace bool
 }
 
 func (c Config) withDefaults() Config {
@@ -164,6 +170,7 @@ type Cluster struct {
 	cfg      Config
 	machines []*machine
 	metrics  Metrics
+	start    time.Time // all trace timestamps are offsets from this
 
 	mu       sync.Mutex
 	nextID   int64
@@ -172,24 +179,85 @@ type Cluster struct {
 	closed   bool
 	failOnce map[string]int // stage-name prefix -> remaining injected failures
 
-	serialMu sync.Mutex // held per task when SerializeTasks is set
-	simMu    sync.Mutex
-	simTime  time.Duration
-	stageLog []StageRecord
+	serialMu    sync.Mutex // held per task when SerializeTasks is set
+	simMu       sync.Mutex
+	simTime     time.Duration
+	stageTag    string
+	stageLog    []StageRecord
+	taskLog     []TaskRecord
+	driverSpans []DriverSpan
 }
 
-// StageRecord summarizes one executed stage for the StageLog.
+// StageRecord summarizes one executed stage for the StageLog: scheduling
+// shape (tasks, wall, critical path), the byte traffic the stage generated,
+// retry counts, and the max-vs-median task-time skew that reveals stragglers
+// and load imbalance.
 type StageRecord struct {
 	Name     string
+	Tag      string // iteration/phase label set via SetStageTag
 	Tasks    int
+	Start    time.Duration // offset from cluster creation
 	Wall     time.Duration
 	Critical time.Duration // per-machine busy-time critical path
+	Retries  int           // task attempts re-run from lineage in this stage
+	// BytesShuffled counts shuffle traffic generated by this stage's tasks
+	// (map-side serialized blocks plus declared row shipments).
+	BytesShuffled int64
+	// BytesSpilled counts disk bytes read+written by this stage's tasks
+	// (ModeMapReduce shuffle spills, checkpoints).
+	BytesSpilled int64
+	// MaxTask and MedianTask summarize the task run-time distribution;
+	// their ratio (Skew) is the straggler indicator.
+	MaxTask    time.Duration
+	MedianTask time.Duration
+	// TransientPeak is the largest task-scoped memory any single task of the
+	// stage declared via ChargeTransient.
+	TransientPeak int64
+}
+
+// Skew returns MaxTask/MedianTask (1 when the stage ran a single task or the
+// median rounds to zero) — the load-balance figure the greedy partitioner of
+// Algorithm 2 exists to keep near 1.
+func (s StageRecord) Skew() float64 {
+	if s.MedianTask <= 0 {
+		return 1
+	}
+	return float64(s.MaxTask) / float64(s.MedianTask)
+}
+
+// TaskRecord describes one task attempt, recorded when Config.TaskTrace is
+// set. Queue is the wait for a core slot before the task body ran; Run is the
+// body itself; both locate the attempt on the cluster timeline via Start
+// (offset from cluster creation, when the body began).
+type TaskRecord struct {
+	Stage         string
+	Tag           string // stage tag at the time the stage ran
+	Partition     int
+	Attempt       int // 0 on first execution, >0 for lineage re-runs
+	Machine       int
+	Start         time.Duration
+	Queue         time.Duration
+	Run           time.Duration
+	TransientPeak int64  // memory declared via ChargeTransient
+	BytesShuffled int64  // shuffle bytes this attempt produced
+	BytesSpilled  int64  // disk bytes this attempt read+wrote
+	Error         string // "" on success; the attempt's error otherwise
+}
+
+// DriverSpan is a named span of driver-side work (dense algebra, result
+// assembly) recorded by the algorithm via RecordDriverSpan so single-threaded
+// driver time shows up next to the cluster stages in traces.
+type DriverSpan struct {
+	Name  string
+	Tag   string
+	Start time.Duration // offset from cluster creation
+	Dur   time.Duration
 }
 
 // NewCluster builds a cluster from cfg.
 func NewCluster(cfg Config) (*Cluster, error) {
 	cfg = cfg.withDefaults()
-	c := &Cluster{cfg: cfg, failOnce: map[string]int{}}
+	c := &Cluster{cfg: cfg, failOnce: map[string]int{}, start: time.Now()}
 	for i := 0; i < cfg.Machines; i++ {
 		c.machines = append(c.machines, &machine{
 			id:  i,
@@ -350,11 +418,15 @@ func (c *Cluster) shouldFail(stage string) bool {
 
 // TaskCtx is handed to every task; it identifies the machine the task runs on
 // and lets the task declare transient memory it would allocate on a real
-// cluster (charged for the task's duration).
+// cluster (charged for the task's duration). It also accumulates the task's
+// own byte traffic so stage and task records can attribute shuffle volume to
+// the attempt that generated it.
 type TaskCtx struct {
-	Machine int
-	c       *Cluster
-	charged int64
+	Machine  int
+	c        *Cluster
+	charged  int64
+	shuffled int64
+	spilled  int64
 }
 
 // ChargeTransient reserves task-scoped memory on the task's machine. It is
@@ -365,6 +437,26 @@ func (tc *TaskCtx) ChargeTransient(bytes int64) error {
 	}
 	tc.charged += bytes
 	return nil
+}
+
+// CountShuffled records bytes of shuffle traffic produced by this task,
+// feeding both the cluster-wide Metrics counter and the per-task/per-stage
+// rollups. Algorithm code that models traffic the engine does not serialize
+// itself (e.g. factor rows shipped to a block) reports it here.
+func (tc *TaskCtx) CountShuffled(bytes int64) {
+	tc.c.metrics.BytesShuffled.Add(bytes)
+	tc.shuffled += bytes
+}
+
+// countSpillWrite / countSpillRead attribute disk traffic to the task.
+func (tc *TaskCtx) countSpillWrite(bytes int64) {
+	tc.c.metrics.DiskBytesWrite.Add(bytes)
+	tc.spilled += bytes
+}
+
+func (tc *TaskCtx) countSpillRead(bytes int64) {
+	tc.c.metrics.DiskBytesRead.Add(bytes)
+	tc.spilled += bytes
 }
 
 // Cluster returns the cluster the task runs on.
@@ -378,8 +470,17 @@ const maxTaskRetries = 2
 // from lineage; other errors abort the stage.
 func (c *Cluster) runStage(name string, parts int, task func(tc *TaskCtx, p int) error) error {
 	c.metrics.Stages.Add(1)
+	c.simMu.Lock()
+	tag := c.stageTag
+	c.simMu.Unlock()
 	stageStart := time.Now()
 	busy := make([]time.Duration, c.cfg.Machines)
+	// Stage-local rollups, all guarded by busyMu and folded into the
+	// StageRecord once the stage completes.
+	durs := make([]time.Duration, 0, parts)
+	var shuffled, spilled, transientPeak int64
+	var retries int
+	var taskRecs []TaskRecord
 	var busyMu sync.Mutex
 	var wg sync.WaitGroup
 	var firstErr error
@@ -407,6 +508,7 @@ func (c *Cluster) runStage(name string, parts int, task func(tc *TaskCtx, p int)
 				}
 				m := (p + attempt) % c.cfg.Machines
 				mm := c.machines[m]
+				enqueued := time.Now()
 				mm.sem <- struct{}{}
 				if c.cfg.SerializeTasks {
 					c.serialMu.Lock()
@@ -423,8 +525,37 @@ func (c *Cluster) runStage(name string, parts int, task func(tc *TaskCtx, p int)
 				if c.cfg.SerializeTasks {
 					c.serialMu.Unlock()
 				}
+				retryable := err != nil && errors.Is(err, errRetryable) && attempt < maxTaskRetries
 				busyMu.Lock()
 				busy[m] += dur
+				durs = append(durs, dur)
+				shuffled += tc.shuffled
+				spilled += tc.spilled
+				if tc.charged > transientPeak {
+					transientPeak = tc.charged
+				}
+				if retryable {
+					retries++
+				}
+				if c.cfg.TaskTrace {
+					rec := TaskRecord{
+						Stage:         name,
+						Tag:           tag,
+						Partition:     p,
+						Attempt:       attempt,
+						Machine:       m,
+						Start:         taskStart.Sub(c.start),
+						Queue:         taskStart.Sub(enqueued),
+						Run:           dur,
+						TransientPeak: tc.charged,
+						BytesShuffled: tc.shuffled,
+						BytesSpilled:  tc.spilled,
+					}
+					if err != nil {
+						rec.Error = err.Error()
+					}
+					taskRecs = append(taskRecs, rec)
+				}
 				busyMu.Unlock()
 				if tc.charged > 0 {
 					c.release(m, tc.charged)
@@ -434,7 +565,7 @@ func (c *Cluster) runStage(name string, parts int, task func(tc *TaskCtx, p int)
 				if err == nil {
 					return
 				}
-				if errors.Is(err, errRetryable) && attempt < maxTaskRetries {
+				if retryable {
 					c.metrics.TaskRetries.Add(1)
 					continue
 				}
@@ -452,14 +583,29 @@ func (c *Cluster) runStage(name string, parts int, task func(tc *TaskCtx, p int)
 			critical = perCore
 		}
 	}
+	var maxTask, medianTask time.Duration
+	if len(durs) > 0 {
+		slices.Sort(durs) // durs is dead after the rollup; sort in place
+		maxTask = durs[len(durs)-1]
+		medianTask = durs[len(durs)/2]
+	}
 	c.simMu.Lock()
 	c.simTime += critical
 	c.stageLog = append(c.stageLog, StageRecord{
-		Name:     name,
-		Tasks:    parts,
-		Wall:     time.Since(stageStart),
-		Critical: critical,
+		Name:          name,
+		Tag:           tag,
+		Tasks:         parts,
+		Start:         stageStart.Sub(c.start),
+		Wall:          time.Since(stageStart),
+		Critical:      critical,
+		Retries:       retries,
+		BytesShuffled: shuffled,
+		BytesSpilled:  spilled,
+		MaxTask:       maxTask,
+		MedianTask:    medianTask,
+		TransientPeak: transientPeak,
 	})
+	c.taskLog = append(c.taskLog, taskRecs...)
 	c.simMu.Unlock()
 	return firstErr
 }
@@ -469,4 +615,61 @@ func (c *Cluster) StageLog() []StageRecord {
 	c.simMu.Lock()
 	defer c.simMu.Unlock()
 	return append([]StageRecord(nil), c.stageLog...)
+}
+
+// StageLogLen returns the number of stages executed so far; together with
+// StageLogSince it lets drivers attribute stages to algorithm phases without
+// copying the whole log each iteration.
+func (c *Cluster) StageLogLen() int {
+	c.simMu.Lock()
+	defer c.simMu.Unlock()
+	return len(c.stageLog)
+}
+
+// StageLogSince returns a copy of the stage records from index mark on.
+func (c *Cluster) StageLogSince(mark int) []StageRecord {
+	c.simMu.Lock()
+	defer c.simMu.Unlock()
+	if mark < 0 || mark > len(c.stageLog) {
+		mark = len(c.stageLog)
+	}
+	return append([]StageRecord(nil), c.stageLog[mark:]...)
+}
+
+// SetStageTag labels every subsequently executed stage (and its task records)
+// with tag — the hook iterative drivers use to mark which iteration/phase a
+// stage belongs to. An empty tag clears it.
+func (c *Cluster) SetStageTag(tag string) {
+	c.simMu.Lock()
+	c.stageTag = tag
+	c.simMu.Unlock()
+}
+
+// Trace returns a copy of the per-task records. It is empty unless the
+// cluster was built with Config.TaskTrace.
+func (c *Cluster) Trace() []TaskRecord {
+	c.simMu.Lock()
+	defer c.simMu.Unlock()
+	return append([]TaskRecord(nil), c.taskLog...)
+}
+
+// RecordDriverSpan appends a named span of driver-side work that started at
+// start and lasted d, labeled with the current stage tag. Driver algebra is
+// invisible to stage accounting — this is how it enters the trace.
+func (c *Cluster) RecordDriverSpan(name string, start time.Time, d time.Duration) {
+	c.simMu.Lock()
+	c.driverSpans = append(c.driverSpans, DriverSpan{
+		Name:  name,
+		Tag:   c.stageTag,
+		Start: start.Sub(c.start),
+		Dur:   d,
+	})
+	c.simMu.Unlock()
+}
+
+// DriverSpans returns a copy of the recorded driver-side spans, in order.
+func (c *Cluster) DriverSpans() []DriverSpan {
+	c.simMu.Lock()
+	defer c.simMu.Unlock()
+	return append([]DriverSpan(nil), c.driverSpans...)
 }

@@ -96,7 +96,7 @@ func Checkpoint[T any](r *RDD[T], name string) (*RDD[T], error) {
 		if err := os.WriteFile(path, data, 0o600); err != nil {
 			return fmt.Errorf("rdd: writing checkpoint: %w", err)
 		}
-		r.c.metrics.DiskBytesWrite.Add(int64(len(data)))
+		tc.countSpillWrite(int64(len(data)))
 		paths[p] = path
 		return nil
 	})
@@ -112,7 +112,7 @@ func Checkpoint[T any](r *RDD[T], name string) (*RDD[T], error) {
 			if err != nil {
 				return nil, fmt.Errorf("rdd: reading checkpoint: %w", err)
 			}
-			tc.c.metrics.DiskBytesRead.Add(int64(len(data)))
+			tc.countSpillRead(int64(len(data)))
 			return decodeBlock[T](data)
 		},
 	}, nil

@@ -87,7 +87,7 @@ func reduceByKeyWith[K comparable, V any](r *RDD[KV[K, V]], name string, parts i
 		parts: parts,
 		deps:  []dep{ex},
 		compute: func(tc *TaskCtx, p int) ([]KV[K, V], error) {
-			records, err := ex.fetch(p)
+			records, err := ex.fetch(tc, p)
 			if err != nil {
 				return nil, err
 			}
@@ -154,7 +154,7 @@ func AggregateByKey[K comparable, V, A any](r *RDD[KV[K, V]], name string, parts
 		parts: parts,
 		deps:  []dep{ex},
 		compute: func(tc *TaskCtx, p int) ([]KV[K, A], error) {
-			records, err := ex.fetch(p)
+			records, err := ex.fetch(tc, p)
 			if err != nil {
 				return nil, err
 			}
@@ -200,7 +200,7 @@ func GroupByKey[K comparable, V any](r *RDD[KV[K, V]], name string, parts int) *
 		parts: parts,
 		deps:  []dep{ex},
 		compute: func(tc *TaskCtx, p int) ([]KV[K, []V], error) {
-			records, err := ex.fetch(p)
+			records, err := ex.fetch(tc, p)
 			if err != nil {
 				return nil, err
 			}
@@ -241,7 +241,7 @@ func PartitionBy[K comparable, V any](r *RDD[KV[K, V]], name string, parts int, 
 		parts: parts,
 		deps:  []dep{ex},
 		compute: func(tc *TaskCtx, p int) ([]KV[K, V], error) {
-			return ex.fetch(p)
+			return ex.fetch(tc, p)
 		},
 	}
 }
@@ -294,11 +294,11 @@ func CoGroup[K comparable, V, W any](a *RDD[KV[K, V]], b *RDD[KV[K, W]], name st
 		parts: parts,
 		deps:  []dep{exA, exB},
 		compute: func(tc *TaskCtx, p int) ([]KV[K, CoGrouped[V, W]], error) {
-			left, err := exA.fetch(p)
+			left, err := exA.fetch(tc, p)
 			if err != nil {
 				return nil, err
 			}
-			right, err := exB.fetch(p)
+			right, err := exB.fetch(tc, p)
 			if err != nil {
 				return nil, err
 			}

@@ -74,13 +74,13 @@ func (e *exchange[R]) ensure() error {
 				if err != nil {
 					return fmt.Errorf("rdd: encoding shuffle block: %w", err)
 				}
-				e.c.metrics.BytesShuffled.Add(int64(len(data)))
+				tc.CountShuffled(int64(len(data)))
 				if e.c.cfg.Mode == ModeMapReduce {
 					path := filepath.Join(e.c.tmpDir, fmt.Sprintf("ex%d-m%d-r%d.blk", e.id, p, rp))
 					if err := os.WriteFile(path, data, 0o600); err != nil {
 						return fmt.Errorf("rdd: spilling shuffle block: %w", err)
 					}
-					e.c.metrics.DiskBytesWrite.Add(int64(len(data)))
+					tc.countSpillWrite(int64(len(data)))
 					e.c.diskDelay(len(data))
 					paths[rp] = path
 				} else {
@@ -95,8 +95,9 @@ func (e *exchange[R]) ensure() error {
 	return e.err
 }
 
-// fetch returns the decoded records destined for reduce partition rp.
-func (e *exchange[R]) fetch(rp int) ([]R, error) {
+// fetch returns the decoded records destined for reduce partition rp,
+// attributing any disk reads to the fetching task.
+func (e *exchange[R]) fetch(tc *TaskCtx, rp int) ([]R, error) {
 	if err := e.ensure(); err != nil {
 		return nil, err
 	}
@@ -112,7 +113,7 @@ func (e *exchange[R]) fetch(rp int) ([]R, error) {
 			if err != nil {
 				return nil, fmt.Errorf("rdd: reading spilled shuffle block: %w", err)
 			}
-			e.c.metrics.DiskBytesRead.Add(int64(len(data)))
+			tc.countSpillRead(int64(len(data)))
 			e.c.diskDelay(len(data))
 		} else {
 			data = e.blocks[mp][rp]
@@ -163,7 +164,7 @@ func ShuffleMap[T, R any](r *RDD[T], name string, reduceParts int,
 		parts: reduceParts,
 		deps:  []dep{ex},
 		compute: func(tc *TaskCtx, p int) ([]R, error) {
-			return ex.fetch(p)
+			return ex.fetch(tc, p)
 		},
 	}
 }
