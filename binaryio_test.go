@@ -2,6 +2,7 @@ package distenc
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -21,7 +22,8 @@ func TestBinaryRoundTrip(t *testing.T) {
 		t.Fatalf("round trip mangled shape: %v", back)
 	}
 	for e := 0; e < ts.NNZ(); e++ {
-		if back.Val[e] != ts.Val[e] {
+		// The codec must be lossless, so compare bit patterns, not values.
+		if math.Float64bits(back.Val[e]) != math.Float64bits(ts.Val[e]) {
 			t.Fatalf("value %d mismatch", e)
 		}
 		a, b := ts.Index(e), back.Index(e)
@@ -44,7 +46,8 @@ func TestBinaryRoundTripProperty(t *testing.T) {
 		if err != nil || back.NNZ() != ts.NNZ() {
 			return false
 		}
-		return back.NormF() == ts.NormF()
+		// Bit-exact round trip implies bit-identical norms.
+		return math.Float64bits(back.NormF()) == math.Float64bits(ts.NormF())
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)

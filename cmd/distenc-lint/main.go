@@ -1,0 +1,19 @@
+// Command distenc-lint runs the repo's engine-invariant analysis suite
+// (rddcapture, hotalloc, bytecount, floatcmp).
+//
+// Two ways to invoke it:
+//
+//	go run ./cmd/distenc-lint ./...          # standalone, re-execs go vet
+//	go vet -vettool=/path/to/distenc-lint ./...
+//
+// Pass -rddcapture, -hotalloc, -bytecount, or -floatcmp to run a subset.
+package main
+
+import (
+	"distenc/internal/analysis"
+	"distenc/internal/analysis/framework"
+)
+
+func main() {
+	framework.Main(analysis.All()...)
+}

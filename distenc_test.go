@@ -2,6 +2,7 @@ package distenc
 
 import (
 	"bytes"
+	"math"
 	"math/rand/v2"
 	"strings"
 	"testing"
@@ -155,7 +156,8 @@ func TestCOORoundTripProperty(t *testing.T) {
 			return false
 		}
 		for e := 0; e < ts.NNZ(); e++ {
-			if back.Val[e] != ts.Val[e] {
+			// "Exactly" means the printed-and-reparsed float is bit-identical.
+			if math.Float64bits(back.Val[e]) != math.Float64bits(ts.Val[e]) {
 				return false
 			}
 		}

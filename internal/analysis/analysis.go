@@ -1,0 +1,35 @@
+// Package analysis registers the repo's engine-invariant lint suite: static
+// passes that pin down properties of the DisTenC port that the type system
+// and the in-process rdd engine cannot enforce at runtime.
+//
+//	rddcapture — task closures must not share mutable driver state
+//	             (the Spark serialization boundary)
+//	hotalloc   — //distenc:hotpath functions stay allocation-free in loops
+//	             (the fused MTTKRP flat-accumulator layout, Algorithm 3)
+//	bytecount  — shuffle/spill bytes flow through TaskCtx attribution
+//	             (Lemma 3 transfer accounting)
+//	floatcmp   — no exact float equality outside audited sites
+//	             (Eq. 17 tolerance-based convergence)
+//
+// Run it as `go run ./cmd/distenc-lint ./...` or via
+// `go vet -vettool=$(which distenc-lint) ./...`; see DESIGN.md's "Engine
+// invariants & static enforcement" section for the full policy.
+package analysis
+
+import (
+	"distenc/internal/analysis/bytecount"
+	"distenc/internal/analysis/floatcmp"
+	"distenc/internal/analysis/framework"
+	"distenc/internal/analysis/hotalloc"
+	"distenc/internal/analysis/rddcapture"
+)
+
+// All returns the full suite in deterministic order.
+func All() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		rddcapture.Analyzer,
+		hotalloc.Analyzer,
+		bytecount.Analyzer,
+		floatcmp.Analyzer,
+	}
+}

@@ -1,0 +1,220 @@
+// Package analysistest runs the suite's analyzers over fixture packages and
+// checks their diagnostics against `// want "regexp"` comments, mirroring
+// x/tools' analysistest contract with the stdlib only.
+//
+// Fixtures live in testdata/src/<pkg>/ next to each analyzer's test. They are
+// type-checked against real export data — including the repo's own packages,
+// so a fixture can import distenc/internal/rdd and exercise an analyzer
+// exactly the way production code does — obtained by shelling out to
+// `go list -deps -export -json`.
+//
+// An expectation comment names one or more patterns on the line the
+// diagnostic is reported on:
+//
+//	total += v // want `writes to captured driver-side variable`
+//
+// Every pattern must match exactly one diagnostic on its line and every
+// diagnostic must be matched by a pattern; anything unmatched on either side
+// fails the test.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"distenc/internal/analysis/framework"
+)
+
+// Run analyzes each fixture package under testdata/src with a and verifies
+// the diagnostics against the fixtures' want comments.
+func Run(t *testing.T, a *framework.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		t.Run(pkg, func(t *testing.T) { runOne(t, a, pkg) })
+	}
+}
+
+func runOne(t *testing.T, a *framework.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkg)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, filepath.Join(dir, e.Name()))
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	imports := make(map[string]bool)
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil {
+				imports[p] = true
+			}
+		}
+	}
+
+	exports := listExports(t, imports)
+	comp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	conf := &types.Config{
+		Importer: comp,
+		Sizes:    types.SizesFor("gc", build.Default.GOARCH),
+	}
+	info := framework.NewTypesInfo()
+	tpkg, err := conf.Check(pkg, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+
+	diags, err := framework.RunAnalyzers([]*framework.Analyzer{a},
+		&framework.Pass{Fset: fset, Files: files, Pkg: tpkg, TypesInfo: info})
+	if err != nil {
+		t.Fatalf("running analyzer: %v", err)
+	}
+
+	wants := expectations(t, fset, files)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := posKey{pos.Filename, pos.Line}
+		matched := false
+		for _, w := range wants[key] {
+			if !w.used && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				t.Errorf("%s:%d: no diagnostic matched %q", key.file, key.line, w.re)
+			}
+		}
+	}
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+// wantRE pulls the expectation patterns out of a want comment: backquoted or
+// double-quoted strings after the marker.
+var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// expectations indexes the fixtures' want comments by file and line.
+func expectations(t *testing.T, fset *token.FileSet, files []*ast.File) map[posKey][]*want {
+	t.Helper()
+	out := make(map[posKey][]*want)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(text, -1) {
+					pat := m[1]
+					if m[2] != "" {
+						if unq, err := strconv.Unquote(`"` + m[2] + `"`); err == nil {
+							pat = unq
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					key := posKey{pos.Filename, pos.Line}
+					out[key] = append(out[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// listExports resolves import paths (transitively) to compiled export data
+// via the go command, so fixtures type-check against the real packages they
+// import.
+func listExports(t *testing.T, imports map[string]bool) map[string]string {
+	t.Helper()
+	out := make(map[string]string)
+	if len(imports) == 0 {
+		return out
+	}
+	args := []string{"list", "-deps", "-export", "-json=ImportPath,Export"}
+	var paths []string
+	for p := range imports {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	cmd := exec.Command("go", append(args, paths...)...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("go list -export failed: %v\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p struct {
+			ImportPath string
+			Export     string
+		}
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			out[p.ImportPath] = p.Export
+		}
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package bytecount_test
+
+import (
+	"testing"
+
+	"distenc/internal/analysis/analysistest"
+	"distenc/internal/analysis/bytecount"
+)
+
+func TestByteCount(t *testing.T) {
+	analysistest.Run(t, bytecount.Analyzer, "a", "rdd")
+}

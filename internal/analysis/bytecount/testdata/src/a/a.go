@@ -1,0 +1,18 @@
+// Fixture for bytecount rule 1 (driver-side code must not poke the Metrics
+// byte counters). sgdStage is a regression fixture: it mirrors
+// internal/baselines/flexifact.go's SGD stage before this suite landed, which
+// bumped the cluster-wide counter directly and left the per-stage transfer
+// profile short by exactly the shipped bytes.
+package a
+
+import "distenc/internal/rdd"
+
+func sgdStage(tc *rdd.TaskCtx, shipped int64) {
+	tc.Cluster().Metrics().BytesShuffled.Add(2 * shipped) // want `direct Add on rdd.Metrics.BytesShuffled`
+	tc.Cluster().Metrics().DiskBytesWrite.Store(0)        // want `direct Store on rdd.Metrics.DiskBytesWrite`
+	tc.CountShuffled(2 * shipped)                         // attribution through TaskCtx is the fix
+	_ = tc.Cluster().Metrics().BytesShuffled.Load()       // reads are fine
+
+	//distenc:accounted -- fixture: engine-internal test hook
+	tc.Cluster().Metrics().BytesBroadcast.Add(1)
+}

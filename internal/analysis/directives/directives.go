@@ -1,0 +1,148 @@
+// Package directives parses the repo's `//distenc:` comment directives, the
+// audited escape hatches of the lint suite:
+//
+//	//distenc:hotpath                 — marks a function (or the func literals
+//	                                    in the next statement) as an
+//	                                    allocation-free hot path for hotalloc
+//	//distenc:coldpath                — excludes one loop or statement inside a
+//	                                    hot path from hotalloc (setup/emit code
+//	                                    that does not run per non-zero)
+//	//distenc:capture-ok v1 v2 -- why — waives named read-only captures in a
+//	                                    task closure for rddcapture
+//	//distenc:floatcmp-ok -- why      — approves exact float comparison in a
+//	                                    function or statement for floatcmp
+//	//distenc:accounted -- why        — marks an engine function whose byte
+//	                                    accounting happens in its caller for
+//	                                    bytecount
+//
+// A directive binds to the node that starts on its own line, or to the node
+// starting on the first non-comment line below it (so it can sit on the
+// statement it governs or in the comment block above, including a FuncDecl's
+// doc comment).
+package directives
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Prefix is the comment marker shared by every directive.
+const Prefix = "//distenc:"
+
+// Directive is one parsed `//distenc:name args... [-- reason]` comment.
+type Directive struct {
+	Name   string
+	Args   []string // whitespace-separated args before any "--" separator
+	Reason string   // free text after "--", if present
+	Pos    token.Pos
+}
+
+// Map indexes a file set's directives by file and line.
+type Map struct {
+	fset *token.FileSet
+	// byLine maps filename -> line -> directives on that line.
+	byLine map[string]map[int][]Directive
+	// commentLines marks filename -> lines fully occupied by comments, used
+	// to let a directive bind across its surrounding comment block.
+	commentLines map[string]map[int]bool
+}
+
+// Scan extracts every distenc directive from the files' comments.
+func Scan(fset *token.FileSet, files []*ast.File) *Map {
+	m := &Map{
+		fset:         fset,
+		byLine:       make(map[string]map[int][]Directive),
+		commentLines: make(map[string]map[int]bool),
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := fset.Position(c.Pos())
+				cl := m.commentLines[pos.Filename]
+				if cl == nil {
+					cl = make(map[int]bool)
+					m.commentLines[pos.Filename] = cl
+				}
+				end := fset.Position(c.End())
+				for l := pos.Line; l <= end.Line; l++ {
+					cl[l] = true
+				}
+				d, ok := parse(c.Text)
+				if !ok {
+					continue
+				}
+				d.Pos = c.Pos()
+				lines := m.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]Directive)
+					m.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], d)
+			}
+		}
+	}
+	return m
+}
+
+func parse(text string) (Directive, bool) {
+	if !strings.HasPrefix(text, Prefix) {
+		return Directive{}, false
+	}
+	body := strings.TrimPrefix(text, Prefix)
+	var reason string
+	if i := strings.Index(body, "--"); i >= 0 {
+		reason = strings.TrimSpace(body[i+2:])
+		body = body[:i]
+	}
+	fields := strings.Fields(body)
+	if len(fields) == 0 {
+		return Directive{}, false
+	}
+	return Directive{Name: fields[0], Args: fields[1:], Reason: reason}, true
+}
+
+// ForNode returns the directives attached to node: those on the line node
+// starts on, plus those in the contiguous comment block directly above it.
+func (m *Map) ForNode(node ast.Node) []Directive {
+	start := m.fset.Position(node.Pos())
+	lines := m.byLine[start.Filename]
+	if lines == nil {
+		return nil
+	}
+	var out []Directive
+	out = append(out, lines[start.Line]...)
+	comments := m.commentLines[start.Filename]
+	for l := start.Line - 1; comments[l]; l-- {
+		out = append(out, lines[l]...)
+	}
+	return out
+}
+
+// Has reports whether node carries a directive with the given name.
+func (m *Map) Has(node ast.Node, name string) bool {
+	for _, d := range m.ForNode(node) {
+		if d.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// CaptureWaivers returns the variable names waived by capture-ok directives
+// attached to node.
+func (m *Map) CaptureWaivers(node ast.Node) map[string]bool {
+	var out map[string]bool
+	for _, d := range m.ForNode(node) {
+		if d.Name != "capture-ok" {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]bool)
+		}
+		for _, a := range d.Args {
+			out[strings.TrimSuffix(a, ",")] = true
+		}
+	}
+	return out
+}

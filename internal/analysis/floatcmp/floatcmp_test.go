@@ -1,0 +1,12 @@
+package floatcmp_test
+
+import (
+	"testing"
+
+	"distenc/internal/analysis/analysistest"
+	"distenc/internal/analysis/floatcmp"
+)
+
+func TestFloatCmp(t *testing.T) {
+	analysistest.Run(t, floatcmp.Analyzer, "a")
+}

@@ -1,0 +1,206 @@
+// Package hotalloc locks in the flat-accumulator structure of the fused
+// MTTKRP kernels (the O(R·nnz) per-iteration hot path of Algorithm 3): inside
+// functions annotated `//distenc:hotpath`, loop bodies may not allocate
+// (append / make / new / slice, map or closure literals), write to maps, or
+// box values into interfaces. Any of these inside the per-non-zero loops
+// silently reintroduces the per-entry garbage the fused kernel was built to
+// eliminate — a regression benchmarks only catch when someone re-runs them.
+//
+// Setup and emission code that runs per mode or per partition rather than
+// per non-zero is excluded with a `//distenc:coldpath` directive on the
+// statement (or loop) that owns it.
+//
+// The directive is recognized on a func declaration's doc comment, or on the
+// line(s) directly above a statement containing func literals (annotating,
+// e.g., the map closure handed to rdd.ShuffleMap).
+package hotalloc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"distenc/internal/analysis/directives"
+	"distenc/internal/analysis/framework"
+)
+
+// Analyzer is the hotalloc pass.
+var Analyzer = &framework.Analyzer{
+	Name: "hotalloc",
+	Doc:  "functions marked //distenc:hotpath must not allocate, write maps, or box interfaces in loop bodies",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	dirs := directives.Scan(pass.Fset, pass.Files)
+	for _, file := range pass.Files {
+		// Hot functions: annotated declarations, plus every func literal in a
+		// statement annotated with the directive.
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil && dirs.Has(n, "hotpath") {
+					checkHot(pass, dirs, n.Body)
+					return false
+				}
+			case ast.Stmt:
+				if dirs.Has(n, "hotpath") {
+					markLiterals(pass, dirs, n)
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// markLiterals checks every func literal under an annotated statement.
+func markLiterals(pass *framework.Pass, dirs *directives.Map, stmt ast.Stmt) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkHot(pass, dirs, lit.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// checkHot walks a hot function body tracking loop depth; violations are
+// reported only for nodes inside at least one loop body.
+func checkHot(pass *framework.Pass, dirs *directives.Map, body *ast.BlockStmt) {
+	var walk func(n ast.Node, inLoop bool)
+	walk = func(root ast.Node, inLoop bool) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			if n == nil || n == root {
+				return true
+			}
+			if stmt, ok := n.(ast.Stmt); ok && dirs.Has(stmt, "coldpath") {
+				return false // audited setup/emission code
+			}
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				if n.Init != nil {
+					walk(n.Init, inLoop)
+				}
+				if n.Cond != nil {
+					walk(n.Cond, inLoop)
+				}
+				if n.Post != nil {
+					walk(n.Post, inLoop)
+				}
+				walk(n.Body, true)
+				return false
+			case *ast.RangeStmt:
+				walk(n.X, inLoop)
+				walk(n.Body, true)
+				return false
+			case *ast.FuncLit:
+				if inLoop {
+					pass.Reportf(n.Pos(), "closure literal allocated inside a hot-path loop")
+				}
+				// The literal runs on its own schedule; its body is not part
+				// of this hot path unless separately annotated.
+				return false
+			case *ast.CompositeLit:
+				if !inLoop {
+					return true
+				}
+				switch pass.TypesInfo.TypeOf(n).Underlying().(type) {
+				case *types.Slice, *types.Map:
+					pass.Reportf(n.Pos(), "%s literal allocates inside a hot-path loop", kindOf(pass, n))
+				}
+			case *ast.AssignStmt:
+				if !inLoop {
+					return true
+				}
+				for _, lhs := range n.Lhs {
+					if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+						if _, isMap := pass.TypesInfo.TypeOf(ix.X).Underlying().(*types.Map); isMap {
+							pass.Reportf(lhs.Pos(), "map write inside a hot-path loop; use a flat slice accumulator (see PR 1's fused MTTKRP layout)")
+						}
+					}
+				}
+			case *ast.CallExpr:
+				if inLoop {
+					checkCall(pass, n)
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false)
+}
+
+func kindOf(pass *framework.Pass, n ast.Expr) string {
+	switch pass.TypesInfo.TypeOf(n).Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return "composite"
+}
+
+// checkCall flags allocating builtins and interface boxing at a call site
+// inside a hot loop.
+func checkCall(pass *framework.Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append", "make", "new":
+				pass.Reportf(call.Pos(), "%s inside a hot-path loop; hoist the allocation out of the per-entry path or mark the statement //distenc:coldpath -- reason", b.Name())
+			}
+			return
+		}
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	if tv.IsType() {
+		// Conversion: concrete -> interface boxes the value.
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 && isConcrete(info.TypeOf(call.Args[0])) {
+			pass.Reportf(call.Pos(), "conversion to %s boxes a value inside a hot-path loop", tv.Type)
+		}
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice does not box per element
+			}
+			param = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		case i < sig.Params().Len():
+			param = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if types.IsInterface(param) && !isTypeParam(param) && isConcrete(info.TypeOf(arg)) {
+			pass.Reportf(arg.Pos(), "argument boxes a %s into %s inside a hot-path loop", info.TypeOf(arg), param)
+		}
+	}
+}
+
+// isConcrete reports whether t is a non-interface, non-nil type (the shapes
+// that heap-box when converted to an interface).
+func isConcrete(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return !types.IsInterface(t)
+}
+
+func isTypeParam(t types.Type) bool {
+	_, ok := t.(*types.TypeParam)
+	return ok
+}

@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"distenc/internal/analysis/analysistest"
+	"distenc/internal/analysis/hotalloc"
+)
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, hotalloc.Analyzer, "a")
+}

@@ -1,0 +1,45 @@
+// Fixture exercising hotalloc: allocation, map writes, and interface boxing
+// inside annotated hot loops, plus the coldpath escape and the
+// statement-level directive form.
+package a
+
+func sink(v any) { _ = v }
+
+//distenc:hotpath
+func hotKernel(xs []float64, out []float64, m map[int]int) []float64 {
+	buf := make([]float64, 8) // setup before the loop is fine
+	for i, x := range xs {
+		out = append(out, x)  // want `append inside a hot-path loop`
+		tmp := make([]int, 4) // want `make inside a hot-path loop`
+		_ = tmp
+		m[i] = i     // want `map write inside a hot-path loop`
+		sink(x)      // want `boxes a float64 into`
+		_ = []int{i} // want `slice literal allocates inside a hot-path loop`
+	}
+	//distenc:coldpath -- emission loop, runs once per call
+	for i := range buf {
+		out = append(out, buf[i])
+	}
+	return out
+}
+
+// Un-annotated functions allocate freely.
+func coldHelper(xs []float64) []float64 {
+	var out []float64
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// The directive also reaches func literals inside the annotated statement,
+// the form the MTTKRP map/reduce closures use.
+func statementForm(xs []int) func() {
+	//distenc:hotpath
+	fn := func() {
+		for range xs {
+			_ = func() {} // want `closure literal allocated inside a hot-path loop`
+		}
+	}
+	return fn
+}

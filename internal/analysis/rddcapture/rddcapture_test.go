@@ -1,0 +1,12 @@
+package rddcapture_test
+
+import (
+	"testing"
+
+	"distenc/internal/analysis/analysistest"
+	"distenc/internal/analysis/rddcapture"
+)
+
+func TestRDDCapture(t *testing.T) {
+	analysistest.Run(t, rddcapture.Analyzer, "a", "regress")
+}

@@ -1,0 +1,55 @@
+// Fixture exercising rddcapture against the real engine API: every legal way
+// to move state across the task boundary, plus the two illegal ones.
+package a
+
+import "distenc/internal/rdd"
+
+type config struct {
+	Rank   int
+	Lambda float64
+}
+
+func driver(c *rdd.Cluster, nums *rdd.RDD[int]) error {
+	total := 0
+	scale := []float64{1, 2}
+	cfg := config{Rank: 8}
+
+	// Writing captured driver state is always flagged: on a real cluster the
+	// closure ships by value and the write silently vanishes.
+	doubled := rdd.Map(nums, "double", func(v int) int {
+		total += v // want `writes to captured driver-side variable "total"`
+		return v * 2
+	})
+
+	// Reading captured mutable state is flagged too...
+	_ = rdd.Map(doubled, "scale", func(v int) int {
+		return v * int(scale[0]) // want `captures driver-side mutable state "scale"`
+	})
+
+	// ...unless it ships through a Broadcast,
+	bscale, err := rdd.NewBroadcast(c, "scale", scale)
+	if err != nil {
+		return err
+	}
+	ok1 := rdd.Map(nums, "bscale", func(v int) int {
+		return v * int(bscale.Value()[0])
+	})
+
+	// or is immutable (scalars and plain structs of scalars ride along),
+	ok2 := rdd.Map(ok1, "rank", func(v int) int { return v * cfg.Rank })
+
+	// or aggregates through an Accumulator,
+	acc := rdd.NewIntAccumulator()
+	ok3 := rdd.Map(ok2, "count", func(v int) int {
+		acc.Add(1)
+		return v
+	})
+
+	// or is an audited read-only shipment waived by name.
+	rows := []float64{3, 4}
+	//distenc:capture-ok rows -- fixture: shipment accounted by the caller
+	_ = rdd.Map(ok3, "waived", func(v int) int {
+		return v + int(rows[0])
+	})
+	return ok3.Materialize()
+}

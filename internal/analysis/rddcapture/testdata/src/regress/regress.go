@@ -1,0 +1,22 @@
+// Regression fixture: the unwaived shape the analyzer first flagged in the
+// real tree — MTTKRPStage and FlexiFact both hand rdd.MapPartitions a closure
+// that reads a driver-side factor-matrix slice. The production sites carry
+// //distenc:capture-ok waivers because the row shipment is charged through
+// TaskCtx.CountShuffled (Lemma 3); without the waiver the capture must be
+// reported.
+package regress
+
+import "distenc/internal/rdd"
+
+func mttkrpLike(blocks *rdd.RDD[[]int32], factors [][]float64, rank int) *rdd.RDD[float64] {
+	return rdd.MapPartitions(blocks, "mttkrp-map", func(tc *rdd.TaskCtx, p int, in [][]int32) ([]float64, error) {
+		var norm2 float64
+		for _, idx := range in {
+			for _, i := range idx {
+				row := factors[0][i*int32(rank):] // want `captures driver-side mutable state "factors"`
+				norm2 += row[0]
+			}
+		}
+		return []float64{norm2}, nil
+	})
+}

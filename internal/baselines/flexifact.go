@@ -139,6 +139,13 @@ func FlexiFact(c *rdd.Cluster, t *sptensor.Tensor, sims []*graph.Similarity, opt
 				SqErr  float64
 				NumObs int64
 			}
+			// Factor rows are read-only here: every touched row is copied into
+			// `local` before the SGD update, and the two-way shipment (pull +
+			// push-back) is charged below via tc.CountShuffled. Broadcasting
+			// the factors instead would bill O(machines·ΣI_n·R) per stratum,
+			// which is exactly the overhead FlexiFact's block scheduling
+			// avoids. opt is a by-value hyperparameter struct.
+			//distenc:capture-ok factors opt -- accounted row shipping (2*shipped via CountShuffled); SGD mutates copies only
 			results := rdd.MapPartitions(blocksRDD, "flexifact-sgd", func(tc *rdd.TaskCtx, b int, in []*core.TensorBlock) ([]sgdOut, error) {
 				// Per-sub-epoch block shipping, both directions.
 				var shipped int64
@@ -208,7 +215,10 @@ func FlexiFact(c *rdd.Cluster, t *sptensor.Tensor, sims []*graph.Similarity, opt
 				if err := tc.ChargeTransient(shipped); err != nil {
 					return nil, err
 				}
-				tc.Cluster().Metrics().BytesShuffled.Add(2 * shipped)
+				// Attribute the row traffic to this task so stage records sum
+				// to the cluster totals (was a direct Metrics poke, which left
+				// the per-stage transfer profile short by exactly this much).
+				tc.CountShuffled(2 * shipped)
 				out := sgdOut{SqErr: sq, NumObs: cnt, Rows: make([]rdd.KV[core.RowKey, []float64], 0, len(local))}
 				for k, v := range local {
 					if int(k.Mode) >= 2 {

@@ -384,6 +384,7 @@ func distributedGram(c *rdd.Cluster, f *mat.Dense, bounds part.Boundaries) (*mat
 		blocks[p] = rows
 	}
 	rowsRDD := rdd.FromPartitions(c, "gram-rows", blocks)
+	//distenc:hotpath
 	partial := rdd.MapPartitions(rowsRDD, "gram-partial", func(tc *rdd.TaskCtx, p int, in [][]float64) ([][]float64, error) {
 		g := make([]float64, rank*rank)
 		for _, row := range in {

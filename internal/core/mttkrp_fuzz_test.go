@@ -6,12 +6,12 @@ import (
 	"testing"
 )
 
-// FuzzPackedRowsDecode hammers the shuffle codec with arbitrary bytes: a
-// decode must either error or return a record that re-encodes to the same
-// canonical form — and must never panic or allocate from attacker-controlled
-// counts (the uint64-wrap bug where nr*4+nv*8 overflowed past the length
-// check).
-func FuzzPackedRowsDecode(f *testing.F) {
+// FuzzDecodeRecord hammers the shuffle codec with arbitrary bytes: a decode
+// must either error or return a record that re-encodes to the same canonical
+// form — and must never panic or allocate from attacker-controlled counts
+// (the uint64-wrap bug where nr*4+nv*8 overflowed past the length check).
+// CI runs this target for a 30-second smoke on every push.
+func FuzzDecodeRecord(f *testing.F) {
 	// Well-formed seeds: a typical record, the Mode -1 norm² side-channel,
 	// and an empty record.
 	full := PackedRows{Mode: 2, Rows: []int32{1, 5, 9}, Vals: []float64{1.5, -2, 0, 3.25, 8, 13}}

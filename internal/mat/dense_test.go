@@ -48,7 +48,8 @@ func TestTranspose(t *testing.T) {
 	mt := m.T()
 	for i := 0; i < 3; i++ {
 		for j := 0; j < 5; j++ {
-			if m.At(i, j) != mt.At(j, i) {
+			// A transpose copies values verbatim; require bit identity.
+			if math.Float64bits(m.At(i, j)) != math.Float64bits(mt.At(j, i)) {
 				t.Fatalf("transpose mismatch at %d,%d", i, j)
 			}
 		}

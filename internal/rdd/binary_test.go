@@ -3,6 +3,7 @@ package rdd
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 	"math/rand/v2"
 	"reflect"
 	"testing"
@@ -75,7 +76,8 @@ func TestBinaryRecordBlockRoundTrip(t *testing.T) {
 			t.Fatalf("record %d has %d vals, want %d", i, len(got[i].Vals), len(recs[i].Vals))
 		}
 		for j := range recs[i].Vals {
-			if got[i].Vals[j] != recs[i].Vals[j] {
+			// The codec is lossless; compare bit patterns rather than values.
+			if math.Float64bits(got[i].Vals[j]) != math.Float64bits(recs[i].Vals[j]) {
 				t.Fatalf("record %d val %d = %v, want %v", i, j, got[i].Vals[j], recs[i].Vals[j])
 			}
 		}

@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"math"
 	"testing"
 
 	"distenc/internal/metrics"
@@ -16,11 +17,12 @@ func TestScalabilityTensorShape(t *testing.T) {
 	}
 	// Determinism: same seed, same tensor.
 	ts2 := ScalabilityTensor([]int{100, 100, 100}, 5000, 1)
-	if ts2.NNZ() != ts.NNZ() || ts2.Val[0] != ts.Val[0] {
+	// Determinism means bit-identical output, so compare bit patterns.
+	if ts2.NNZ() != ts.NNZ() || math.Float64bits(ts2.Val[0]) != math.Float64bits(ts.Val[0]) {
 		t.Fatal("generator not deterministic")
 	}
 	ts3 := ScalabilityTensor([]int{100, 100, 100}, 5000, 2)
-	if ts3.Val[0] == ts.Val[0] && ts3.Idx[0] == ts.Idx[0] && ts3.Idx[1] == ts.Idx[1] {
+	if math.Float64bits(ts3.Val[0]) == math.Float64bits(ts.Val[0]) && ts3.Idx[0] == ts.Idx[0] && ts3.Idx[1] == ts.Idx[1] {
 		t.Fatal("different seeds should differ")
 	}
 }
@@ -33,9 +35,10 @@ func TestLinearFactorDatasetConsistency(t *testing.T) {
 	if d.Truth == nil || len(d.Sims) != 3 {
 		t.Fatal("missing truth or sims")
 	}
-	// Observations must carry exact model values.
+	// Observations carry the model values verbatim (same arithmetic, no
+	// noise), so the stored and recomputed floats must agree bit for bit.
 	for e := 0; e < 20; e++ {
-		if got, want := d.Tensor.Val[e], d.Truth.At(d.Tensor.Index(e)); got != want {
+		if got, want := d.Tensor.Val[e], d.Truth.At(d.Tensor.Index(e)); math.Float64bits(got) != math.Float64bits(want) {
 			t.Fatalf("entry %d = %v, want model value %v", e, got, want)
 		}
 	}
