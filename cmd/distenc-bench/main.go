@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"distenc/internal/bench"
+	"distenc/internal/rdd"
 )
 
 var experiments = []struct {
@@ -46,14 +47,15 @@ var experiments = []struct {
 func main() {
 	log.SetFlags(0)
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (all, "+names()+")")
-		small    = flag.Bool("small", false, "seconds-scale smoke profile")
-		seed     = flag.Uint64("seed", 1, "workload seed")
-		machines = flag.Int("machines", 4, "simulated machines for non-scalability experiments")
-		traceOut = flag.String("trace", "", "write a Chrome-trace JSON of the phases experiment's run to this file")
-		stageSum = flag.Bool("stage-summary", false, "print the per-stage engine table in the phases experiment")
-		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file")
+		exp       = flag.String("exp", "all", "experiment to run (all, "+names()+")")
+		small     = flag.Bool("small", false, "seconds-scale smoke profile")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		machines  = flag.Int("machines", 4, "simulated machines for non-scalability experiments")
+		traceOut  = flag.String("trace", "", "write a Chrome-trace JSON of the phases experiment's run to this file")
+		stageSum  = flag.Bool("stage-summary", false, "print the per-stage engine table in the phases experiment")
+		faultSpec = flag.String("fault-plan", "", "seeded chaos schedule for the phases experiment's cluster, e.g. \"seed=7,failprob=0.02,kill=1@5\"")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
 
@@ -87,6 +89,13 @@ func main() {
 	p := bench.Profile{
 		Small: *small, Seed: *seed, Machines: *machines,
 		TraceFile: *traceOut, StageSummary: *stageSum,
+	}
+	if *faultSpec != "" {
+		fault, err := rdd.ParseFaultPlan(*faultSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p.Fault = fault
 	}
 	ran := 0
 	start := time.Now()

@@ -1,12 +1,13 @@
 // Command distenc-lint runs the repo's engine-invariant analysis suite
-// (rddcapture, hotalloc, bytecount, floatcmp).
+// (rddcapture, hotalloc, bytecount, floatcmp, accadd).
 //
 // Two ways to invoke it:
 //
 //	go run ./cmd/distenc-lint ./...          # standalone, re-execs go vet
 //	go vet -vettool=/path/to/distenc-lint ./...
 //
-// Pass -rddcapture, -hotalloc, -bytecount, or -floatcmp to run a subset.
+// Pass -rddcapture, -hotalloc, -bytecount, -floatcmp, or -accadd to run a
+// subset.
 package main
 
 import (

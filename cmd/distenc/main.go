@@ -17,6 +17,14 @@
 // writes a Chrome-trace JSON (open in chrome://tracing or ui.perfetto.dev)
 // with one lane per simulated machine and a driver lane for stage and
 // algebra spans. -cpuprofile/-memprofile write standard pprof profiles.
+//
+// Fault tolerance: -checkpoint-every N -checkpoint-dir DIR persists the full
+// solver state every N iterations; -resume restarts from the latest
+// checkpoint and reproduces the uninterrupted run's factors bit-for-bit.
+// -fault-plan "seed=7,failprob=0.02,kill=1@5" runs the simulated cluster
+// under a seeded chaos schedule (random task failures, a machine kill at a
+// given stage, straggler delays) whose recovery shows up in -stage-summary
+// and the trace.
 package main
 
 import (
@@ -68,6 +76,11 @@ func main() {
 		verbose  = flag.Bool("v", false, "print per-iteration progress")
 		nonneg   = flag.Bool("nonneg", false, "enforce the non-negativity constraint")
 		predict  = flag.String("predict", "", "after training, predict the cells listed in this file (one \"i1 i2 … iN\" line each; \"-\" for stdin)")
+
+		ckptEvery = flag.Int("checkpoint-every", 0, "persist the solver state every N iterations to -checkpoint-dir (0 = off)")
+		ckptDir   = flag.String("checkpoint-dir", "", "directory for solver checkpoints (required with -checkpoint-every; where -resume looks)")
+		resume    = flag.Bool("resume", false, "resume from the latest checkpoint in -checkpoint-dir instead of starting fresh")
+		faultSpec = flag.String("fault-plan", "", "seeded chaos schedule for the simulated cluster, e.g. \"seed=7,failprob=0.02,kill=1@5\" (needs -machines > 0; see distenc.ParseFaultPlan)")
 
 		traceOut = flag.String("trace", "", "write a Chrome-trace JSON (chrome://tracing, Perfetto) of every stage, task and driver span to this file (needs -machines > 0)")
 		stageSum = flag.Bool("stage-summary", false, "print the per-stage timing/shuffle table and per-iteration phase breakdown after solving")
@@ -130,7 +143,12 @@ func main() {
 	opt := distenc.Options{
 		Rank: *rank, MaxIter: *maxIter, Tol: *tol,
 		Lambda: *lambda, Alpha: *alpha, TruncK: *truncK, Seed: *seed,
-		NonNegative: *nonneg,
+		NonNegative:     *nonneg,
+		CheckpointEvery: *ckptEvery,
+		CheckpointDir:   *ckptDir,
+	}
+	if (*resume || *ckptEvery > 0) && *ckptDir == "" {
+		log.Fatal("-resume and -checkpoint-every need -checkpoint-dir")
 	}
 	if *verbose {
 		opt.OnIteration = func(p distenc.ConvergencePoint) {
@@ -145,20 +163,39 @@ func main() {
 		if *traceOut != "" {
 			log.Fatal("-trace needs the distributed solver (-machines > 0)")
 		}
-		res, err = distenc.Complete(t, similarities, opt)
+		if *faultSpec != "" {
+			log.Fatal("-fault-plan needs the distributed solver (-machines > 0)")
+		}
+		if *resume {
+			res, err = distenc.Resume(t, similarities, opt)
+		} else {
+			res, err = distenc.Complete(t, similarities, opt)
+		}
 	} else {
+		var fault *distenc.FaultPlan
+		if *faultSpec != "" {
+			fault, err = distenc.ParseFaultPlan(*faultSpec)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
 		// Per-task records cost memory proportional to task count, so the
 		// engine only keeps them when a trace was asked for; the per-stage
 		// rollups behind -stage-summary are always on.
 		c, err = distenc.NewCluster(distenc.ClusterConfig{
 			Machines:  *machines,
 			TaskTrace: *traceOut != "",
+			Fault:     fault,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer c.Close()
-		res, err = distenc.CompleteDistributed(c, t, similarities, distenc.DistOptions{Options: opt})
+		if *resume {
+			res, err = distenc.ResumeDistributed(c, t, similarities, distenc.DistOptions{Options: opt})
+		} else {
+			res, err = distenc.CompleteDistributed(c, t, similarities, distenc.DistOptions{Options: opt})
+		}
 	}
 	if err != nil {
 		log.Fatal(err)

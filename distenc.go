@@ -71,6 +71,19 @@ type Cluster = rdd.Cluster
 // budget, and Spark-like vs MapReduce-like execution.
 type ClusterConfig = rdd.Config
 
+// FaultPlan is a seeded chaos schedule for the simulated cluster: random
+// task failures, a machine kill at a chosen stage, and straggler delays (set
+// ClusterConfig.Fault).
+type FaultPlan = rdd.FaultPlan
+
+// RecoveryEvent is one recorded fault-tolerance action (see
+// Cluster.Recoveries).
+type RecoveryEvent = rdd.RecoveryEvent
+
+// ParseFaultPlan builds a FaultPlan from the compact spec the -fault-plan
+// CLI flag takes, e.g. "seed=7,failprob=0.02,kill=1@5".
+var ParseFaultPlan = rdd.ParseFaultPlan
+
 // Trace is a per-iteration convergence record.
 type Trace = metrics.Trace
 
@@ -111,6 +124,23 @@ func Complete(t *Tensor, sims []*Similarity, opt Options) (*Result, error) {
 // CompleteDistributed runs DisTenC (Algorithm 3) on the cluster.
 func CompleteDistributed(c *Cluster, t *Tensor, sims []*Similarity, opt DistOptions) (*Result, error) {
 	return core.CompleteDistributed(c, t, sims, opt)
+}
+
+// ErrNoCheckpoint is returned by the Resume functions when
+// Options.CheckpointDir holds no checkpoint.
+var ErrNoCheckpoint = core.ErrNoCheckpoint
+
+// Resume continues an interrupted Complete run from the latest checkpoint in
+// opt.CheckpointDir (see Options.CheckpointEvery); the resumed run's factors
+// are bit-identical to an uninterrupted run's.
+func Resume(t *Tensor, sims []*Similarity, opt Options) (*Result, error) {
+	return core.Resume(t, sims, opt)
+}
+
+// ResumeDistributed continues an interrupted CompleteDistributed run from
+// the latest checkpoint in opt.CheckpointDir.
+func ResumeDistributed(c *Cluster, t *Tensor, sims []*Similarity, opt DistOptions) (*Result, error) {
+	return core.ResumeDistributed(c, t, sims, opt)
 }
 
 // RMSE evaluates a model on held-out observations.

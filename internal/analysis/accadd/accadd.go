@@ -1,0 +1,206 @@
+// Package accadd enforces the accumulator exactly-once contract under task
+// retry (see internal/rdd/accumulator.go): a plain Accumulator.Add that runs
+// in a task attempt is NOT rolled back when the attempt later fails, so the
+// retry double-counts. Inside a fallible task closure — one whose last result
+// is an error — a plain Add is therefore only safe as part of the final
+// success path: after it, the closure must not be able to return a non-nil
+// error.
+//
+// The pass flags every rdd.Accumulator Add call in a task closure that is
+// (positionally) followed by a fallible return, i.e. a return whose final
+// result expression is not the literal nil. The fixes, in preference order:
+// use AddOnSuccess (exactly-once by construction, legal anywhere in the
+// closure), move the Add after the last fallible operation, or waive an
+// audited intentional over-count with `//distenc:accadd-ok -- reason`.
+//
+// Closures without an error result cannot fail from inside and are exempt;
+// so is the engine package itself, whose tests exercise the leak on purpose.
+package accadd
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"distenc/internal/analysis/directives"
+	"distenc/internal/analysis/framework"
+)
+
+// Analyzer is the accadd pass.
+var Analyzer = &framework.Analyzer{
+	Name: "accadd",
+	Doc:  "plain Accumulator.Add in a fallible task closure must be the final success path; earlier adds double-count under retry — use AddOnSuccess",
+	Run:  run,
+}
+
+// enginePath is the engine package, exempt like in rddcapture: its own tests
+// demonstrate the over-count the contract documents.
+const enginePath = "distenc/internal/rdd"
+
+func run(pass *framework.Pass) (any, error) {
+	if strings.HasPrefix(pass.Pkg.Path(), enginePath) || pass.Pkg.Name() == "rdd" {
+		return nil, nil
+	}
+	dirs := directives.Scan(pass.Fset, pass.Files)
+	for _, file := range pass.Files {
+		checkFile(pass, dirs, file)
+	}
+	return nil, nil
+}
+
+func checkFile(pass *framework.Pass, dirs *directives.Map, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := rddCallee(pass, call)
+		if callee == "" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if lit, ok := arg.(*ast.FuncLit); ok {
+				checkClosure(pass, dirs, lit, callee)
+			}
+		}
+		return true
+	})
+}
+
+// checkClosure flags plain accumulator adds followed by fallible returns
+// within one task closure. Nested func literals are skipped: ones passed to
+// the rdd API are tasks checked on their own, and a nested helper's returns
+// are not the closure's returns.
+func checkClosure(pass *framework.Pass, dirs *directives.Map, lit *ast.FuncLit, callee string) {
+	if !returnsError(pass, lit) {
+		return // the closure cannot fail from inside; any add is final
+	}
+	type addSite struct {
+		pos    token.Pos
+		waived bool
+	}
+	var adds []addSite
+	var lastFallible token.Pos
+	var stack []ast.Node
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if n != lit {
+				return false
+			}
+		case *ast.ReturnStmt:
+			if fallibleReturn(n) && n.Pos() > lastFallible {
+				lastFallible = n.Pos()
+			}
+		case *ast.CallExpr:
+			if isAccumulatorAdd(pass, n) {
+				adds = append(adds, addSite{pos: n.Pos(), waived: waived(dirs, stack)})
+			}
+		}
+		return true
+	})
+	for _, a := range adds {
+		if a.waived || a.pos > lastFallible {
+			continue
+		}
+		pass.Reportf(a.pos,
+			"plain Accumulator.Add in the task closure passed to %s is followed by a fallible return; a failed attempt's add is not rolled back, so the retry double-counts — use AddOnSuccess, move the Add after the last fallible operation, or waive an intentional over-count with //distenc:accadd-ok -- reason",
+			callee)
+	}
+}
+
+// returnsError reports whether the closure's final result is an error.
+func returnsError(pass *framework.Pass, lit *ast.FuncLit) bool {
+	sig, ok := pass.TypesInfo.TypeOf(lit).(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// fallibleReturn reports whether ret can yield a non-nil error: any return
+// whose final result expression is not the literal nil (a bare return in a
+// named-result closure counts as fallible).
+func fallibleReturn(ret *ast.ReturnStmt) bool {
+	if len(ret.Results) == 0 {
+		return true
+	}
+	id, ok := ast.Unparen(ret.Results[len(ret.Results)-1]).(*ast.Ident)
+	return !ok || id.Name != "nil"
+}
+
+// isAccumulatorAdd reports whether call is Add on an rdd.Accumulator.
+func isAccumulatorAdd(pass *framework.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Add" {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Accumulator" && obj.Pkg() != nil && obj.Pkg().Name() == "rdd"
+}
+
+// waived reports whether any enclosing statement carries an accadd-ok
+// directive.
+func waived(dirs *directives.Map, stack []ast.Node) bool {
+	for _, anc := range stack {
+		if stmt, ok := anc.(ast.Stmt); ok && dirs.Has(stmt, "accadd-ok") {
+			return true
+		}
+	}
+	return false
+}
+
+// rddCallee returns a display name when call invokes a function or method
+// from the rdd package (the calls whose closure arguments run as tasks).
+func rddCallee(pass *framework.Pass, call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.IndexExpr: // explicit instantiation rdd.Map[T, U](...)
+		if sel, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
+			id = sel.Sel
+		} else if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = base
+		}
+	case *ast.IndexListExpr:
+		if sel, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
+			id = sel.Sel
+		} else if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = base
+		}
+	}
+	if id == nil {
+		return ""
+	}
+	if fn, ok := pass.TypesInfo.Uses[id].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Name() == "rdd" {
+		return "rdd." + fn.Name()
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package accadd_test
+
+import (
+	"testing"
+
+	"distenc/internal/analysis/accadd"
+	"distenc/internal/analysis/analysistest"
+)
+
+func TestAccAdd(t *testing.T) {
+	analysistest.Run(t, accadd.Analyzer, "a")
+}

@@ -1,0 +1,68 @@
+// Fixture for accadd: every placement of an accumulator add relative to a
+// task closure's failure paths.
+package a
+
+import (
+	"errors"
+
+	"distenc/internal/rdd"
+)
+
+func stages(c *rdd.Cluster, items []int) error {
+	counted := rdd.NewIntAccumulator()
+	exact := rdd.NewIntAccumulator()
+	r := rdd.Parallelize(c, "xs", items, 2)
+
+	// A plain add before a fallible operation double-counts when the failed
+	// attempt is retried.
+	err := r.ForeachPartition(func(tc *rdd.TaskCtx, p int, in []int) error {
+		counted.Add(int64(len(in))) // want `followed by a fallible return`
+		if len(in) == 0 {
+			return errors.New("empty partition")
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Deferred adds are exactly-once wherever they appear.
+	err = r.ForeachPartition(func(tc *rdd.TaskCtx, p int, in []int) error {
+		exact.AddOnSuccess(tc, int64(len(in)))
+		if len(in) == 0 {
+			return errors.New("empty partition")
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// A plain add on the final success path is fine: nothing fallible follows.
+	err = r.ForeachPartition(func(tc *rdd.TaskCtx, p int, in []int) error {
+		if len(in) == 0 {
+			return errors.New("empty partition")
+		}
+		counted.Add(int64(len(in)))
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// A closure that cannot fail from inside has no failure path to leak on.
+	doubled := rdd.Map(r, "double", func(v int) int {
+		counted.Add(1)
+		return v * 2
+	})
+
+	// An audited intentional over-count is waived per statement.
+	return doubled.ForeachPartition(func(tc *rdd.TaskCtx, p int, in []int) error {
+		//distenc:accadd-ok -- fixture: approximate progress counter, over-count acceptable
+		counted.Add(int64(len(in)))
+		if len(in) == 0 {
+			return errors.New("empty partition")
+		}
+		return nil
+	})
+}

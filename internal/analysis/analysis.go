@@ -10,6 +10,8 @@
 //	             (Lemma 3 transfer accounting)
 //	floatcmp   — no exact float equality outside audited sites
 //	             (Eq. 17 tolerance-based convergence)
+//	accadd     — plain Accumulator.Add in a fallible task closure must be
+//	             the final success path (the exactly-once retry contract)
 //
 // Run it as `go run ./cmd/distenc-lint ./...` or via
 // `go vet -vettool=$(which distenc-lint) ./...`; see DESIGN.md's "Engine
@@ -17,6 +19,7 @@
 package analysis
 
 import (
+	"distenc/internal/analysis/accadd"
 	"distenc/internal/analysis/bytecount"
 	"distenc/internal/analysis/floatcmp"
 	"distenc/internal/analysis/framework"
@@ -31,5 +34,6 @@ func All() []*framework.Analyzer {
 		hotalloc.Analyzer,
 		bytecount.Analyzer,
 		floatcmp.Analyzer,
+		accadd.Analyzer,
 	}
 }

@@ -43,6 +43,10 @@ type Profile struct {
 	// StageSummary makes the Phases experiment print the engine's
 	// per-stage timing/shuffle table alongside the phase breakdown.
 	StageSummary bool
+	// Fault, when set, runs the Phases experiment's cluster under the given
+	// seeded chaos schedule (task failures, a machine kill, stragglers) so
+	// the recovery cost shows up in its stage table and recovery log.
+	Fault *rdd.FaultPlan
 }
 
 func (p Profile) withDefaults() Profile {

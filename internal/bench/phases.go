@@ -32,6 +32,7 @@ func Phases(w io.Writer, p Profile) *core.Result {
 		Machines:         p.Machines,
 		MemoryPerMachine: p.MemoryPerMachine,
 		TaskTrace:        p.TraceFile != "",
+		Fault:            p.Fault,
 	})
 	if err != nil {
 		fmt.Fprintf(w, "cluster: %v\n", err)

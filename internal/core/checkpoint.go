@@ -1,0 +1,212 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"distenc/internal/mat"
+	"distenc/internal/sptensor"
+)
+
+// Solver checkpointing persists the full ADMM iteration state — factors A(n),
+// auxiliary variables B(n), multipliers Y(n), the penalty η, and the iteration
+// counter — so an interrupted run resumes exactly where it stopped. The
+// residual E is NOT stored: it is a pure function of the factors (Eq. 16) and
+// is recomputed on restore, which keeps the file at 3·Σ I_n·R floats. Because
+// every quantity the iteration reads is restored bit-for-bit and the solver's
+// arithmetic is deterministic, Resume produces factors bit-identical to the
+// uninterrupted run (the resume tests assert this via math.Float64bits).
+//
+// Layout (little-endian): magic "DTCK", format version, iteration count, η,
+// order N, rank R, the N mode sizes, then the factor/aux/multiplier matrices
+// row-major. Writes go to a temp file in the same directory and rename into
+// place, so a crash mid-write never corrupts the previous checkpoint; only
+// the latest checkpoint is kept.
+
+// ErrNoCheckpoint is returned by Resume when CheckpointDir holds no
+// checkpoint file.
+var ErrNoCheckpoint = errors.New("core: no checkpoint found")
+
+const (
+	ckptMagic   = uint32(0x4454434b) // "DTCK"
+	ckptVersion = uint32(1)
+	ckptFile    = "solver.ckpt"
+)
+
+// CheckpointPath returns the checkpoint file location inside dir. Exposed so
+// CLIs and tests can check whether a run left a checkpoint behind.
+func CheckpointPath(dir string) string { return filepath.Join(dir, ckptFile) }
+
+// checkpointState is the persisted iteration state.
+type checkpointState struct {
+	iter    int
+	eta     float64
+	factors []*mat.Dense
+	aux     []*mat.Dense
+	mult    []*mat.Dense
+}
+
+// maybeCheckpoint persists the state entering iteration st.iter+1 when the
+// options ask for a checkpoint at this cadence. Call right after the
+// iteration's advance, when factors/aux/mult/η already hold the next
+// iteration's inputs.
+func (st *solverState) maybeCheckpoint() error {
+	every := st.opt.CheckpointEvery
+	if every <= 0 {
+		return nil
+	}
+	done := st.iter + 1
+	if done%every != 0 {
+		return nil
+	}
+	return writeCheckpoint(st.opt.CheckpointDir, &checkpointState{
+		iter:    done,
+		eta:     st.eta,
+		factors: st.factors,
+		aux:     st.aux,
+		mult:    st.mult,
+	})
+}
+
+// restore loads a checkpoint into the solver state, replacing the fresh
+// initialization. The serial solver recomputes the residual from the restored
+// factors; the distributed solver keeps resid nil (its stage recomputes
+// residuals on the cluster).
+func (st *solverState) restore(ck *checkpointState, distributed bool) {
+	st.factors = ck.factors
+	st.aux = ck.aux
+	st.mult = ck.mult
+	st.eta = ck.eta
+	st.iter = ck.iter
+	if distributed {
+		st.resid = nil
+	} else {
+		st.resid = sptensor.Residual(st.t, sptensor.NewKruskal(st.factors...))
+	}
+}
+
+// writeCheckpoint atomically replaces dir's checkpoint file.
+func writeCheckpoint(dir string, ck *checkpointState) error {
+	var buf bytes.Buffer
+	order := len(ck.factors)
+	rank := 0
+	if order > 0 {
+		rank = ck.factors[0].Cols()
+	}
+	head := []any{ckptMagic, ckptVersion, uint64(ck.iter), ck.eta, uint32(order), uint32(rank)}
+	for _, v := range head {
+		if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("core: encoding checkpoint header: %w", err)
+		}
+	}
+	for _, f := range ck.factors {
+		if err := binary.Write(&buf, binary.LittleEndian, uint32(f.Rows())); err != nil {
+			return fmt.Errorf("core: encoding checkpoint dims: %w", err)
+		}
+	}
+	for _, group := range [][]*mat.Dense{ck.factors, ck.aux, ck.mult} {
+		for _, m := range group {
+			if err := binary.Write(&buf, binary.LittleEndian, m.Data()); err != nil {
+				return fmt.Errorf("core: encoding checkpoint matrices: %w", err)
+			}
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("core: creating checkpoint dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ckptFile+".tmp-")
+	if err != nil {
+		return fmt.Errorf("core: writing checkpoint: %w", err)
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("core: writing checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("core: writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), CheckpointPath(dir)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("core: committing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// readCheckpoint parses dir's checkpoint file.
+func readCheckpoint(dir string) (*checkpointState, error) {
+	data, err := os.ReadFile(CheckpointPath(dir))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w in %s", ErrNoCheckpoint, dir)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: reading checkpoint: %w", err)
+	}
+	r := bytes.NewReader(data)
+	var magic, version, order, rank uint32
+	var iter uint64
+	var eta float64
+	for _, v := range []any{&magic, &version, &iter, &eta, &order, &rank} {
+		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
+			return nil, fmt.Errorf("core: truncated checkpoint header: %w", err)
+		}
+	}
+	if magic != ckptMagic {
+		return nil, fmt.Errorf("core: %s is not a checkpoint file", CheckpointPath(dir))
+	}
+	if version != ckptVersion {
+		return nil, fmt.Errorf("core: checkpoint format version %d, want %d", version, ckptVersion)
+	}
+	if order == 0 || order > 16 || rank == 0 {
+		return nil, fmt.Errorf("core: corrupt checkpoint: order=%d rank=%d", order, rank)
+	}
+	dims := make([]uint32, order)
+	if err := binary.Read(r, binary.LittleEndian, dims); err != nil {
+		return nil, fmt.Errorf("core: truncated checkpoint dims: %w", err)
+	}
+	ck := &checkpointState{iter: int(iter), eta: eta}
+	for _, group := range []*[]*mat.Dense{&ck.factors, &ck.aux, &ck.mult} {
+		ms := make([]*mat.Dense, order)
+		for n := range ms {
+			vals := make([]float64, int(dims[n])*int(rank))
+			if err := binary.Read(r, binary.LittleEndian, vals); err != nil {
+				return nil, fmt.Errorf("core: truncated checkpoint matrices: %w", err)
+			}
+			ms[n] = mat.NewDenseData(int(dims[n]), int(rank), vals)
+		}
+		*group = ms
+	}
+	return ck, nil
+}
+
+// loadCheckpoint reads and validates a checkpoint against the tensor and
+// options a resume was asked to continue with.
+func loadCheckpoint(dir string, t *sptensor.Tensor, opt Options) (*checkpointState, error) {
+	if dir == "" {
+		return nil, errors.New("core: Resume requires Options.CheckpointDir")
+	}
+	ck, err := readCheckpoint(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(ck.factors) != t.Order() {
+		return nil, fmt.Errorf("%w: checkpoint holds an order-%d model, tensor is order-%d",
+			ErrDimensionMismatch, len(ck.factors), t.Order())
+	}
+	for n, f := range ck.factors {
+		if f.Rows() != t.Dims[n] {
+			return nil, fmt.Errorf("%w: checkpoint mode %d has %d rows, tensor mode size %d",
+				ErrDimensionMismatch, n, f.Rows(), t.Dims[n])
+		}
+		if f.Cols() != opt.Rank {
+			return nil, fmt.Errorf("%w: checkpoint rank %d, options rank %d",
+				ErrDimensionMismatch, f.Cols(), opt.Rank)
+		}
+	}
+	return ck, nil
+}

@@ -80,6 +80,26 @@ func (b *TensorBlock) EntryIndex(e int) []int32 { return b.Idx[e*b.Order : (e+1)
 //     (Eq. 7), Hadamard-of-Grams F_n (Eq. 12), the Eq. (16) factor update,
 //     and the Y/η bookkeeping — identical math to the serial reference.
 func CompleteDistributed(c *rdd.Cluster, t *sptensor.Tensor, sims []*graph.Similarity, opt DistOptions) (*Result, error) {
+	return completeDistributed(c, t, sims, opt, nil)
+}
+
+// ResumeDistributed continues an interrupted CompleteDistributed run from the
+// latest checkpoint in opt.CheckpointDir, exactly as Resume does for the
+// serial solver: the restored iteration state is bit-identical, so the
+// resumed run's factors match an uninterrupted run's bit-for-bit.
+func ResumeDistributed(c *rdd.Cluster, t *sptensor.Tensor, sims []*graph.Similarity, opt DistOptions) (*Result, error) {
+	opt.Options = opt.Options.withDefaults()
+	ck, err := loadCheckpoint(opt.CheckpointDir, t, opt.Options)
+	if err != nil {
+		return nil, err
+	}
+	return completeDistributed(c, t, sims, opt, ck)
+}
+
+// completeDistributed is the shared distributed loop; a non-nil ck replaces
+// the fresh initialization with checkpointed state and starts at its
+// iteration.
+func completeDistributed(c *rdd.Cluster, t *sptensor.Tensor, sims []*graph.Similarity, opt DistOptions, ck *checkpointState) (*Result, error) {
 	opt.Options = opt.Options.withDefaults()
 	if opt.Partitions <= 0 {
 		opt.Partitions = c.Machines()
@@ -105,10 +125,13 @@ func CompleteDistributed(c *rdd.Cluster, t *sptensor.Tensor, sims []*graph.Simil
 
 	st := newSolverState(t, sp, opt.Options)
 	st.resid = nil // the stage computes residuals; never materialize driver-side
+	if ck != nil {
+		st.restore(ck, true)
+	}
 	start := time.Now()
 	defer c.SetStageTag("")
 
-	for st.iter = 0; st.iter < opt.MaxIter; st.iter++ {
+	for ; st.iter < opt.MaxIter; st.iter++ {
 		// Tag this iteration's stages so the stage log, task trace and
 		// Chrome-trace export attribute every span to its iteration.
 		c.SetStageTag(fmt.Sprintf("iter=%d", st.iter))
@@ -139,6 +162,13 @@ func CompleteDistributed(c *rdd.Cluster, t *sptensor.Tensor, sims []*graph.Simil
 		next, bs := st.iterateWith(grams, func(mode int) *mat.Dense { return hs[mode] })
 		delta := st.advanceNoResid(next, bs)
 		drvDur := time.Since(drvStart)
+		if opt.CheckpointEvery > 0 {
+			ckStart := time.Now()
+			if err := st.maybeCheckpoint(); err != nil {
+				return nil, err
+			}
+			c.RecordDriverSpan("checkpoint", ckStart, time.Since(ckStart))
+		}
 		// Driver algebra (spectral B updates, Eq. 16 solves, Y/η updates)
 		// runs between stages and is invisible to stage accounting.
 		c.RecordDriverSpan("driver-algebra", drvStart, drvDur)

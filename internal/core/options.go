@@ -61,6 +61,15 @@ type Options struct {
 	ConsensusTol float64
 	// Seed fixes the factor initialization.
 	Seed uint64
+	// CheckpointEvery, when positive, persists the full solver state
+	// (factors, auxiliary variables, multipliers, η, iteration counter) to
+	// CheckpointDir after every CheckpointEvery-th iteration, atomically
+	// replacing the previous checkpoint. Resume restarts from the latest
+	// checkpoint and reproduces the uninterrupted run's factors bit-for-bit.
+	CheckpointEvery int
+	// CheckpointDir is where checkpoints are written (and where Resume looks
+	// for one). Required when CheckpointEvery is set.
+	CheckpointDir string
 	// InitScale multiplies the U(0,1) factor initialization (0 = auto: the
 	// solvers match the initial model's mean prediction to the observed
 	// mean, which dramatically accelerates the EM-style fill-in when most
@@ -150,6 +159,9 @@ func validate(t *sptensor.Tensor, sims []*graph.Similarity) error {
 func validateOptions(t *sptensor.Tensor, o Options) error {
 	if len(o.Alphas) > 0 && len(o.Alphas) != t.Order() {
 		return fmt.Errorf("%w: %d per-mode alphas for order-%d tensor", ErrDimensionMismatch, len(o.Alphas), t.Order())
+	}
+	if o.CheckpointEvery > 0 && o.CheckpointDir == "" {
+		return errors.New("core: Options.CheckpointEvery set without Options.CheckpointDir")
 	}
 	return nil
 }

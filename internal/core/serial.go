@@ -19,6 +19,26 @@ import (
 // sims may be nil (no auxiliary information) or hold one similarity per mode
 // with nil entries for modes without auxiliary data.
 func Complete(t *sptensor.Tensor, sims []*graph.Similarity, opt Options) (*Result, error) {
+	return complete(t, sims, opt, nil)
+}
+
+// Resume continues an interrupted Complete run from the latest checkpoint in
+// opt.CheckpointDir (see Options.CheckpointEvery). The restored state is
+// bit-identical to the state the writing run held, and the solver arithmetic
+// is deterministic, so the resumed run's factors match the uninterrupted
+// run's exactly. Returns ErrNoCheckpoint when the directory holds none.
+func Resume(t *sptensor.Tensor, sims []*graph.Similarity, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	ck, err := loadCheckpoint(opt.CheckpointDir, t, opt)
+	if err != nil {
+		return nil, err
+	}
+	return complete(t, sims, opt, ck)
+}
+
+// complete is the shared serial loop; a non-nil ck replaces the fresh
+// initialization with checkpointed state and starts at its iteration.
+func complete(t *sptensor.Tensor, sims []*graph.Similarity, opt Options, ck *checkpointState) (*Result, error) {
 	opt = opt.withDefaults()
 	if err := validate(t, sims); err != nil {
 		return nil, err
@@ -31,8 +51,11 @@ func Complete(t *sptensor.Tensor, sims []*graph.Similarity, opt Options) (*Resul
 		return nil, err
 	}
 	st := newSolverState(t, sp, opt)
+	if ck != nil {
+		st.restore(ck, false)
+	}
 	start := time.Now()
-	for st.iter = 0; st.iter < opt.MaxIter; st.iter++ {
+	for ; st.iter < opt.MaxIter; st.iter++ {
 		iterStart := time.Now()
 		grams := make([]*mat.Dense, t.Order())
 		for n, f := range st.factors {
@@ -51,6 +74,9 @@ func Complete(t *sptensor.Tensor, sims []*graph.Similarity, opt Options) (*Resul
 			return h
 		})
 		delta := st.advance(next, bs)
+		if err := st.maybeCheckpoint(); err != nil {
+			return nil, err
+		}
 		kernel += st.residDur
 		iterDur := time.Since(iterStart)
 		st.phases = append(st.phases, metrics.PhaseTimes{

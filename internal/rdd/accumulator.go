@@ -4,9 +4,20 @@ import "sync"
 
 // Accumulator is a write-only-from-tasks, read-on-driver aggregation
 // variable, mirroring Spark accumulators. Tasks call Add concurrently; the
-// driver reads Value after the stage completes. Because failed tasks are
-// retried from lineage, callers that need exactly-once semantics should add
-// only from the final (successful) code path of a task, as in Spark.
+// driver reads Value after the stage completes.
+//
+// # Exactly-once contract under retry
+//
+// A failed task attempt is retried from lineage, and a plain Add that already
+// executed in the failed attempt is NOT rolled back — the retry adds again
+// and the total double-counts, exactly as Spark accumulators over-count on
+// task re-execution. Callers that need exactly-once totals must either call
+// Add as the very last step of the task closure, after every fallible
+// operation (so a failure implies the add never ran), or use AddOnSuccess,
+// which defers the merge until the engine knows the attempt succeeded and is
+// therefore exactly-once regardless of where in the closure it is called.
+// The accadd vet pass flags plain Add calls in task closures that are
+// followed by fallible returns.
 type Accumulator[T any] struct {
 	mu    sync.Mutex
 	value T
@@ -30,10 +41,20 @@ func NewIntAccumulator() *Accumulator[int64] {
 }
 
 // Add merges v into the accumulator; safe for concurrent use from tasks.
+// Adds from a task attempt that later fails are not rolled back — see the
+// exactly-once contract above; prefer AddOnSuccess inside task closures.
 func (a *Accumulator[T]) Add(v T) {
 	a.mu.Lock()
 	a.value = a.merge(a.value, v)
 	a.mu.Unlock()
+}
+
+// AddOnSuccess merges v into the accumulator only if the task attempt running
+// tc completes successfully, making the contribution exactly-once under
+// retry: a failed attempt's deferred adds are simply discarded with the
+// attempt.
+func (a *Accumulator[T]) AddOnSuccess(tc *TaskCtx, v T) {
+	tc.OnSuccess(func() { a.Add(v) })
 }
 
 // Value returns the current aggregate. Call from the driver after the

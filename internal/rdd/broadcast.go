@@ -1,33 +1,53 @@
 package rdd
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Broadcast is a read-only value shipped once to every machine, the engine's
 // equivalent of Spark broadcast variables. The paper broadcasts the R×R
 // Gram matrices and the diagonalized Laplacian spectra this way (§III-B,
 // §III-F); the per-machine copy cost is what Lemma 2's O(M·N·R²) term counts.
 type Broadcast[T any] struct {
-	c     *Cluster
-	value T
-	bytes int64 // size charged per machine
-	freed bool
+	c       *Cluster
+	value   T
+	bytes   int64 // size charged per machine
+	evictID int64
+
+	mu      sync.Mutex
+	charged []bool // which machines currently hold (and are charged for) a replica
+	freed   bool
 }
 
-// NewBroadcast registers value on every machine: its serialized size is
-// charged to each machine's memory budget and counted as broadcast traffic
-// for every machine except the driver-local copy.
+// NewBroadcast registers value on every live machine: its serialized size is
+// charged to each machine's memory budget and counted as broadcast traffic.
+// Dead machines are skipped; if one is later killed, its replica's charge is
+// released (tasks keep reading the driver's copy, as a rebroadcast would
+// restore on a real cluster).
 func NewBroadcast[T any](c *Cluster, name string, value T) (*Broadcast[T], error) {
 	size := EstimateSize(value)
+	charged := make([]bool, c.cfg.Machines)
+	replicas := 0
 	for m := 0; m < c.cfg.Machines; m++ {
+		if c.machineDead(m) {
+			continue
+		}
 		if err := c.charge(m, size); err != nil {
-			for freed := 0; freed < m; freed++ {
-				c.release(freed, size)
+			for freed := range charged {
+				if charged[freed] {
+					c.release(freed, size)
+				}
 			}
 			return nil, fmt.Errorf("rdd: broadcasting %s: %w", name, err)
 		}
+		charged[m] = true
+		replicas++
 	}
-	c.metrics.BytesBroadcast.Add(size * int64(c.cfg.Machines))
-	return &Broadcast[T]{c: c, value: value, bytes: size}, nil
+	c.metrics.BytesBroadcast.Add(size * int64(replicas))
+	b := &Broadcast[T]{c: c, value: value, bytes: size, charged: charged}
+	b.evictID = c.registerEvictor(b)
+	return b, nil
 }
 
 // Value returns the broadcast value (shared, read-only by convention).
@@ -38,11 +58,36 @@ func (b *Broadcast[T]) SizeBytes() int64 { return b.bytes }
 
 // Release frees the per-machine memory charges. Safe to call twice.
 func (b *Broadcast[T]) Release() {
+	b.mu.Lock()
 	if b.freed {
+		b.mu.Unlock()
 		return
 	}
 	b.freed = true
-	for m := 0; m < b.c.cfg.Machines; m++ {
-		b.c.release(m, b.bytes)
+	charged := b.charged
+	b.charged = nil
+	b.mu.Unlock()
+	b.c.unregisterEvictor(b.evictID)
+	for m, on := range charged {
+		if on {
+			b.c.release(m, b.bytes)
+		}
 	}
+}
+
+// evictMachine releases the dead machine's replica charge.
+func (b *Broadcast[T]) evictMachine(m int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.freed || !b.charged[m] {
+		return
+	}
+	b.charged[m] = false
+	b.c.release(m, b.bytes)
+	b.c.recordRecovery(RecoveryEvent{
+		Kind:      RecoveryBroadcastEvict,
+		Partition: -1,
+		Machine:   m,
+		Cause:     fmt.Sprintf("broadcast replica (%d bytes) lost with machine", b.bytes),
+	})
 }

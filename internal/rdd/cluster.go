@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"os"
 	"slices"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -89,6 +90,18 @@ type Config struct {
 	// in StageLog are always collected, the per-task log only when asked,
 	// so tracing never taxes benchmark runs that don't want it.
 	TaskTrace bool
+	// MaxTaskRetries is the per-task retry budget for retryable failures
+	// (injected faults, machine loss). 0 means the default of 2; negative
+	// disables retries.
+	MaxTaskRetries int
+	// RetryBackoff is the base delay before re-placing a failed attempt;
+	// it doubles per attempt up to RetryBackoffMax (default 8x the base).
+	// Zero disables backoff.
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
+	// Fault, when set, injects the seeded chaos schedule (task failures,
+	// a machine kill, stragglers) described by the plan. Nil runs clean.
+	Fault *FaultPlan
 }
 
 func (c Config) withDefaults() Config {
@@ -109,15 +122,22 @@ var ErrOutOfMemory = errors.New("rdd: machine out of memory")
 // on another machine.
 var errRetryable = errors.New("rdd: retryable task failure")
 
-// Metrics aggregates engine counters for the experiment harness.
+// Metrics aggregates engine counters for the experiment harness. The byte
+// counters hold exactly-once totals: an attempt's traffic is committed only
+// when the attempt succeeds, and traffic from attempts that failed (or whose
+// machine died mid-run) is reattributed to BytesWasted instead, so Lemma 3
+// accounting is not overstated under retry.
 type Metrics struct {
 	BytesShuffled  atomic.Int64
 	BytesBroadcast atomic.Int64
 	DiskBytesRead  atomic.Int64
 	DiskBytesWrite atomic.Int64
-	TasksRun       atomic.Int64
-	TaskRetries    atomic.Int64
-	Stages         atomic.Int64
+	// BytesWasted counts shuffle+disk traffic produced by failed task
+	// attempts — work that was paid for but discarded.
+	BytesWasted atomic.Int64
+	TasksRun    atomic.Int64
+	TaskRetries atomic.Int64
+	Stages      atomic.Int64
 }
 
 // Snapshot returns a plain-struct copy for reporting.
@@ -127,6 +147,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		BytesBroadcast: m.BytesBroadcast.Load(),
 		DiskBytesRead:  m.DiskBytesRead.Load(),
 		DiskBytesWrite: m.DiskBytesWrite.Load(),
+		BytesWasted:    m.BytesWasted.Load(),
 		TasksRun:       m.TasksRun.Load(),
 		TaskRetries:    m.TaskRetries.Load(),
 		Stages:         m.Stages.Load(),
@@ -139,6 +160,7 @@ type MetricsSnapshot struct {
 	BytesBroadcast int64
 	DiskBytesRead  int64
 	DiskBytesWrite int64
+	BytesWasted    int64
 	TasksRun       int64
 	TaskRetries    int64
 	Stages         int64
@@ -151,6 +173,7 @@ func (m MetricsSnapshot) Sub(o MetricsSnapshot) MetricsSnapshot {
 		BytesBroadcast: m.BytesBroadcast - o.BytesBroadcast,
 		DiskBytesRead:  m.DiskBytesRead - o.DiskBytesRead,
 		DiskBytesWrite: m.DiskBytesWrite - o.DiskBytesWrite,
+		BytesWasted:    m.BytesWasted - o.BytesWasted,
 		TasksRun:       m.TasksRun - o.TasksRun,
 		TaskRetries:    m.TaskRetries - o.TaskRetries,
 		Stages:         m.Stages - o.Stages,
@@ -160,6 +183,7 @@ func (m MetricsSnapshot) Sub(o MetricsSnapshot) MetricsSnapshot {
 type machine struct {
 	id   int
 	sem  chan struct{} // CoresPerMachine slots
+	dead atomic.Bool   // set by KillMachine; the scheduler skips dead machines
 	mu   sync.Mutex
 	used int64
 	peak int64
@@ -167,17 +191,20 @@ type machine struct {
 
 // Cluster is the simulated cluster: the driver plus M machines.
 type Cluster struct {
-	cfg      Config
-	machines []*machine
-	metrics  Metrics
-	start    time.Time // all trace timestamps are offsets from this
+	cfg          Config
+	machines     []*machine
+	metrics      Metrics
+	start        time.Time    // all trace timestamps are offsets from this
+	planFailures atomic.Int64 // fault-plan task failures injected so far
 
-	mu       sync.Mutex
-	nextID   int64
-	tmpDir   string
-	ownsTmp  bool
-	closed   bool
-	failOnce map[string]int // stage-name prefix -> remaining injected failures
+	mu        sync.Mutex
+	nextID    int64
+	tmpDir    string
+	ownsTmp   bool
+	closed    bool
+	failOnce  map[string]int           // stage-name prefix -> remaining injected failures
+	evictors  map[int64]machineEvictor // storage holders notified by KillMachine
+	ckptFiles map[int64][]string       // Checkpoint files to delete on Unpersist/Close
 
 	serialMu    sync.Mutex // held per task when SerializeTasks is set
 	simMu       sync.Mutex
@@ -186,6 +213,7 @@ type Cluster struct {
 	stageLog    []StageRecord
 	taskLog     []TaskRecord
 	driverSpans []DriverSpan
+	recoveries  []RecoveryEvent
 }
 
 // StageRecord summarizes one executed stage for the StageLog: scheduling
@@ -206,6 +234,10 @@ type StageRecord struct {
 	// BytesSpilled counts disk bytes read+written by this stage's tasks
 	// (ModeMapReduce shuffle spills, checkpoints).
 	BytesSpilled int64
+	// BytesWasted counts shuffle+disk bytes produced by this stage's failed
+	// task attempts and then discarded (exactly-once accounting keeps them
+	// out of BytesShuffled/BytesSpilled).
+	BytesWasted int64
 	// MaxTask and MedianTask summarize the task run-time distribution;
 	// their ratio (Skew) is the straggler indicator.
 	MaxTask    time.Duration
@@ -288,7 +320,8 @@ func MustNewCluster(cfg Config) *Cluster {
 	return c
 }
 
-// Close releases the cluster's on-disk shuffle space.
+// Close releases the cluster's on-disk shuffle space, including any
+// Checkpoint files still alive in a caller-owned DiskDir.
 func (c *Cluster) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -297,8 +330,13 @@ func (c *Cluster) Close() error {
 	}
 	c.closed = true
 	if c.ownsTmp && c.tmpDir != "" {
+		c.ckptFiles = nil
 		return os.RemoveAll(c.tmpDir)
 	}
+	for _, paths := range c.ckptFiles {
+		removeCheckpointFiles(paths)
+	}
+	c.ckptFiles = nil
 	return nil
 }
 
@@ -404,29 +442,41 @@ func (c *Cluster) InjectTaskFailures(stagePrefix string, n int) {
 	c.failOnce[stagePrefix] = n
 }
 
+// shouldFail consumes one injected failure for stage if any registered prefix
+// matches. With several matching prefixes the longest one is charged —
+// deterministic, unlike iterating the map, whose order would make which
+// prefix's budget is decremented (and thus which later stage fails) vary
+// run-to-run.
 func (c *Cluster) shouldFail(stage string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	best := ""
+	found := false
 	for prefix, n := range c.failOnce {
-		if n > 0 && len(stage) >= len(prefix) && stage[:len(prefix)] == prefix {
-			c.failOnce[prefix] = n - 1
-			return true
+		if n > 0 && strings.HasPrefix(stage, prefix) && (!found || len(prefix) > len(best)) {
+			best, found = prefix, true
 		}
 	}
-	return false
+	if found {
+		c.failOnce[best]--
+	}
+	return found
 }
 
 // TaskCtx is handed to every task; it identifies the machine the task runs on
 // and lets the task declare transient memory it would allocate on a real
-// cluster (charged for the task's duration). It also accumulates the task's
-// own byte traffic so stage and task records can attribute shuffle volume to
-// the attempt that generated it.
+// cluster (charged for the task's duration). It also buffers the task's own
+// byte traffic: counters are committed to the cluster Metrics only if the
+// attempt succeeds (failed attempts land in BytesWasted instead), which is
+// what makes the engine's accounting exactly-once under retry.
 type TaskCtx struct {
-	Machine  int
-	c        *Cluster
-	charged  int64
-	shuffled int64
-	spilled  int64
+	Machine    int
+	c          *Cluster
+	charged    int64
+	shuffled   int64
+	spillRead  int64
+	spillWrite int64
+	onSuccess  []func()
 }
 
 // ChargeTransient reserves task-scoped memory on the task's machine. It is
@@ -440,36 +490,83 @@ func (tc *TaskCtx) ChargeTransient(bytes int64) error {
 }
 
 // CountShuffled records bytes of shuffle traffic produced by this task,
-// feeding both the cluster-wide Metrics counter and the per-task/per-stage
-// rollups. Algorithm code that models traffic the engine does not serialize
-// itself (e.g. factor rows shipped to a block) reports it here.
+// feeding the cluster-wide Metrics counter (on attempt success) and the
+// per-task/per-stage rollups. Algorithm code that models traffic the engine
+// does not serialize itself (e.g. factor rows shipped to a block) reports it
+// here.
 func (tc *TaskCtx) CountShuffled(bytes int64) {
-	tc.c.metrics.BytesShuffled.Add(bytes)
 	tc.shuffled += bytes
 }
 
 // countSpillWrite / countSpillRead attribute disk traffic to the task.
 func (tc *TaskCtx) countSpillWrite(bytes int64) {
-	tc.c.metrics.DiskBytesWrite.Add(bytes)
-	tc.spilled += bytes
+	tc.spillWrite += bytes
 }
 
 func (tc *TaskCtx) countSpillRead(bytes int64) {
-	tc.c.metrics.DiskBytesRead.Add(bytes)
-	tc.spilled += bytes
+	tc.spillRead += bytes
+}
+
+// spilled is the attempt's total disk traffic.
+func (tc *TaskCtx) spilled() int64 { return tc.spillRead + tc.spillWrite }
+
+// OnSuccess registers f to run exactly once if (and only if) this task
+// attempt completes successfully — the hook for side effects that must not
+// double-apply when an attempt fails and is retried from lineage. Accumulator
+// adds route through it via AddOnSuccess.
+func (tc *TaskCtx) OnSuccess(f func()) {
+	tc.onSuccess = append(tc.onSuccess, f)
+}
+
+// commit folds the attempt's buffered counters into the cluster metrics and
+// fires the deferred success hooks. Called by runStage on success only.
+func (tc *TaskCtx) commit() {
+	m := &tc.c.metrics
+	if tc.shuffled > 0 {
+		m.BytesShuffled.Add(tc.shuffled)
+	}
+	if tc.spillRead > 0 {
+		m.DiskBytesRead.Add(tc.spillRead)
+	}
+	if tc.spillWrite > 0 {
+		m.DiskBytesWrite.Add(tc.spillWrite)
+	}
+	for _, f := range tc.onSuccess {
+		f()
+	}
+	tc.onSuccess = nil
 }
 
 // Cluster returns the cluster the task runs on.
 func (tc *TaskCtx) Cluster() *Cluster { return tc.c }
 
-const maxTaskRetries = 2
+// defaultMaxTaskRetries is the retry budget when Config.MaxTaskRetries is 0.
+const defaultMaxTaskRetries = 2
+
+// maxRetries resolves the configured per-task retry budget.
+func (c *Cluster) maxRetries() int {
+	switch {
+	case c.cfg.MaxTaskRetries > 0:
+		return c.cfg.MaxTaskRetries
+	case c.cfg.MaxTaskRetries < 0:
+		return 0
+	default:
+		return defaultMaxTaskRetries
+	}
+}
 
 // runStage executes parts tasks across the machines (partition p prefers
 // machine p mod M, like Spark preferred locations) and waits for all of them.
-// Tasks failing with errRetryable are re-run on the next machine, recomputing
-// from lineage; other errors abort the stage.
+// Tasks failing with errRetryable — injected faults, or attempts whose
+// machine was killed while they ran — are re-placed on another healthy
+// machine (capped exponential backoff, never the machine that just failed
+// when an alternative exists) and recomputed from lineage, up to the
+// configured retry budget; other errors abort the stage. An attempt's byte
+// counters and deferred OnSuccess hooks are committed only if it succeeds;
+// failed-attempt traffic is reattributed to BytesWasted.
 func (c *Cluster) runStage(name string, parts int, task func(tc *TaskCtx, p int) error) error {
-	c.metrics.Stages.Add(1)
+	stageIdx := c.metrics.Stages.Add(1) - 1
+	c.maybePlanKill(stageIdx)
 	c.simMu.Lock()
 	tag := c.stageTag
 	c.simMu.Unlock()
@@ -478,9 +575,10 @@ func (c *Cluster) runStage(name string, parts int, task func(tc *TaskCtx, p int)
 	// Stage-local rollups, all guarded by busyMu and folded into the
 	// StageRecord once the stage completes.
 	durs := make([]time.Duration, 0, parts)
-	var shuffled, spilled, transientPeak int64
+	var shuffled, spilled, wasted, transientPeak int64
 	var retries int
 	var taskRecs []TaskRecord
+	var recEvents []RecoveryEvent
 	var busyMu sync.Mutex
 	var wg sync.WaitGroup
 	var firstErr error
@@ -502,13 +600,19 @@ func (c *Cluster) runStage(name string, parts int, task func(tc *TaskCtx, p int)
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
+			lastFailed := -1
 			for attempt := 0; ; attempt++ {
 				if abort() {
 					return
 				}
-				m := (p + attempt) % c.cfg.Machines
+				m, perr := c.placeTask(p, attempt, lastFailed)
+				if perr != nil {
+					setErr(perr)
+					return
+				}
 				mm := c.machines[m]
 				enqueued := time.Now()
+				c.backoff(attempt)
 				mm.sem <- struct{}{}
 				if c.cfg.SerializeTasks {
 					c.serialMu.Lock()
@@ -516,26 +620,55 @@ func (c *Cluster) runStage(name string, parts int, task func(tc *TaskCtx, p int)
 				tc := &TaskCtx{Machine: m, c: c}
 				taskStart := time.Now()
 				var err error
-				if c.shouldFail(name) {
+				switch {
+				case c.shouldFail(name):
 					err = fmt.Errorf("rdd: injected failure in stage %q task %d on machine %d: %w", name, p, m, errRetryable)
-				} else {
+				case c.planShouldFail(name, p, attempt):
+					err = fmt.Errorf("rdd: fault-plan failure in stage %q task %d on machine %d: %w", name, p, m, errRetryable)
+				default:
+					c.planStraggle(name, p, attempt)
 					err = task(tc, p)
+					if err == nil && c.machineDead(m) {
+						// The machine died under the running task: its result
+						// is gone with the machine, so discard and retry.
+						err = fmt.Errorf("rdd: machine %d died while running stage %q task %d: %w", m, name, p, errRetryable)
+					}
 				}
 				dur := time.Since(taskStart)
 				if c.cfg.SerializeTasks {
 					c.serialMu.Unlock()
 				}
-				retryable := err != nil && errors.Is(err, errRetryable) && attempt < maxTaskRetries
+				retryable := err != nil && errors.Is(err, errRetryable) && attempt < c.maxRetries()
+				taskSpill := tc.spilled()
+				if err == nil {
+					tc.commit()
+				} else if tc.shuffled+taskSpill > 0 {
+					c.metrics.BytesWasted.Add(tc.shuffled + taskSpill)
+				}
 				busyMu.Lock()
 				busy[m] += dur
 				durs = append(durs, dur)
-				shuffled += tc.shuffled
-				spilled += tc.spilled
+				if err == nil {
+					shuffled += tc.shuffled
+					spilled += taskSpill
+				} else {
+					wasted += tc.shuffled + taskSpill
+				}
 				if tc.charged > transientPeak {
 					transientPeak = tc.charged
 				}
 				if retryable {
 					retries++
+					recEvents = append(recEvents, RecoveryEvent{
+						Kind:      RecoveryTaskRetry,
+						Stage:     name,
+						Partition: p,
+						Machine:   m,
+						Attempt:   attempt,
+						Cause:     err.Error(),
+						Cost:      dur,
+						At:        taskStart.Sub(c.start),
+					})
 				}
 				if c.cfg.TaskTrace {
 					rec := TaskRecord{
@@ -549,7 +682,7 @@ func (c *Cluster) runStage(name string, parts int, task func(tc *TaskCtx, p int)
 						Run:           dur,
 						TransientPeak: tc.charged,
 						BytesShuffled: tc.shuffled,
-						BytesSpilled:  tc.spilled,
+						BytesSpilled:  taskSpill,
 					}
 					if err != nil {
 						rec.Error = err.Error()
@@ -567,6 +700,7 @@ func (c *Cluster) runStage(name string, parts int, task func(tc *TaskCtx, p int)
 				}
 				if retryable {
 					c.metrics.TaskRetries.Add(1)
+					lastFailed = m
 					continue
 				}
 				setErr(err)
@@ -601,11 +735,13 @@ func (c *Cluster) runStage(name string, parts int, task func(tc *TaskCtx, p int)
 		Retries:       retries,
 		BytesShuffled: shuffled,
 		BytesSpilled:  spilled,
+		BytesWasted:   wasted,
 		MaxTask:       maxTask,
 		MedianTask:    medianTask,
 		TransientPeak: transientPeak,
 	})
 	c.taskLog = append(c.taskLog, taskRecs...)
+	c.recoveries = append(c.recoveries, recEvents...)
 	c.simMu.Unlock()
 	return firstErr
 }

@@ -72,7 +72,11 @@ func Sample[T any](r *RDD[T], name string, frac float64, seed uint64) *RDD[T] {
 // Checkpoint computes every partition now, persists it through the
 // filesystem, and returns an RDD that reads the checkpointed data — cutting
 // the lineage, as Spark's checkpointing does for long iterative jobs. The
-// written bytes are counted as disk traffic.
+// checkpoint files model replicated stable storage: they survive KillMachine,
+// so lost downstream state recovers by rereading them instead of replaying
+// the cut lineage. Written bytes count as disk traffic once; every re-read
+// counts as disk-read traffic again. The files are deleted when the returned
+// RDD is Unpersisted, and any still alive are deleted by Cluster.Close.
 func Checkpoint[T any](r *RDD[T], name string) (*RDD[T], error) {
 	if err := r.ensureDeps(); err != nil {
 		return nil, err
@@ -97,13 +101,15 @@ func Checkpoint[T any](r *RDD[T], name string) (*RDD[T], error) {
 			return fmt.Errorf("rdd: writing checkpoint: %w", err)
 		}
 		tc.countSpillWrite(int64(len(data)))
+		r.c.diskDelay(len(data))
 		paths[p] = path
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &RDD[T]{
+	r.c.trackCheckpoint(id, paths)
+	out := &RDD[T]{
 		c:     r.c,
 		name:  name,
 		parts: r.parts,
@@ -113,9 +119,41 @@ func Checkpoint[T any](r *RDD[T], name string) (*RDD[T], error) {
 				return nil, fmt.Errorf("rdd: reading checkpoint: %w", err)
 			}
 			tc.countSpillRead(int64(len(data)))
+			tc.c.diskDelay(len(data))
 			return decodeBlock[T](data)
 		},
-	}, nil
+	}
+	out.cleanup = func() { r.c.dropCheckpoint(id) }
+	return out, nil
+}
+
+// trackCheckpoint registers a checkpoint's files for deletion on Unpersist of
+// the checkpointed RDD or on Cluster.Close (whichever comes first).
+func (c *Cluster) trackCheckpoint(id int64, paths []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ckptFiles == nil {
+		c.ckptFiles = map[int64][]string{}
+	}
+	c.ckptFiles[id] = paths
+}
+
+// dropCheckpoint deletes a checkpoint's files and forgets them.
+func (c *Cluster) dropCheckpoint(id int64) {
+	c.mu.Lock()
+	paths := c.ckptFiles[id]
+	delete(c.ckptFiles, id)
+	c.mu.Unlock()
+	removeCheckpointFiles(paths)
+}
+
+// removeCheckpointFiles best-effort deletes checkpoint block files.
+func removeCheckpointFiles(paths []string) {
+	for _, p := range paths {
+		if p != "" {
+			os.Remove(p)
+		}
+	}
 }
 
 // checkpointDir returns (creating lazily) the cluster's on-disk scratch

@@ -1,0 +1,661 @@
+package rdd
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestShouldFailLongestPrefixDeterministic is the regression test for the
+// map-iteration bug: with overlapping injected prefixes, the longest matching
+// prefix's budget must be charged, every time.
+func TestShouldFailLongestPrefixDeterministic(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		c := testCluster(t, Config{Machines: 1})
+		c.InjectTaskFailures("collect:", 1)
+		c.InjectTaskFailures("collect:mttkrp", 1)
+		// Both prefixes match: the longer one must be consumed first.
+		if !c.shouldFail("collect:mttkrp-reduce") {
+			t.Fatal("first matching call did not fail")
+		}
+		c.mu.Lock()
+		long, short := c.failOnce["collect:mttkrp"], c.failOnce["collect:"]
+		c.mu.Unlock()
+		if long != 0 || short != 1 {
+			t.Fatalf("trial %d: budgets after first failure: collect:mttkrp=%d collect:=%d, want 0 and 1", trial, long, short)
+		}
+		// Second call still matches the short prefix.
+		if !c.shouldFail("collect:mttkrp-reduce") {
+			t.Fatal("second matching call did not fail")
+		}
+		// Budgets exhausted.
+		if c.shouldFail("collect:mttkrp-reduce") {
+			t.Fatal("third call failed with no budget left")
+		}
+	}
+}
+
+// TestExactlyOnceMetricsUnderRetry is the exactly-once regression test: disk
+// and shuffle bytes produced by attempts that fail partway through must land
+// in BytesWasted, not the committed counters, so a retried run's totals match
+// a failure-free run. ModeMapReduce makes the reduce-side fetch produce real
+// disk-read traffic before the injected mid-task failure.
+func TestExactlyOnceMetricsUnderRetry(t *testing.T) {
+	run := func(inject bool) (*Cluster, MetricsSnapshot) {
+		c := testCluster(t, Config{Machines: 3, Mode: ModeMapReduce})
+		pairs := make([]KV[int, int], 60)
+		for i := range pairs {
+			pairs[i] = KV[int, int]{i % 6, i}
+		}
+		red := ReduceByKey(Parallelize(c, "pairs", pairs, 6), "sums", 3, func(a, b int) int { return a + b })
+		var failed atomic.Bool
+		out := MapPartitions(red, "post", func(tc *TaskCtx, p int, in []KV[int, int]) ([]KV[int, int], error) {
+			// Fail one attempt after the shuffle fetch already charged disk
+			// reads to this task.
+			if inject && p == 0 && failed.CompareAndSwap(false, true) {
+				return nil, errInjectedForTest(tc.Machine, p)
+			}
+			return in, nil
+		})
+		if _, err := out.Collect(); err != nil {
+			t.Fatal(err)
+		}
+		return c, c.Metrics().Snapshot()
+	}
+
+	_, clean := run(false)
+	faulted, retried := run(true)
+	if retried.TaskRetries != 1 {
+		t.Fatalf("retries = %d, want 1", retried.TaskRetries)
+	}
+	if retried.BytesShuffled != clean.BytesShuffled {
+		t.Errorf("BytesShuffled %d under retry != %d clean: failed attempt leaked into the exactly-once counter",
+			retried.BytesShuffled, clean.BytesShuffled)
+	}
+	if retried.DiskBytesRead != clean.DiskBytesRead {
+		t.Errorf("DiskBytesRead %d under retry != %d clean: failed attempt's fetch leaked into the exactly-once counter",
+			retried.DiskBytesRead, clean.DiskBytesRead)
+	}
+	if clean.BytesWasted != 0 {
+		t.Errorf("clean run wasted %d bytes", clean.BytesWasted)
+	}
+	if retried.BytesWasted == 0 {
+		t.Error("failed attempt's traffic did not land in BytesWasted")
+	}
+	var stageWasted int64
+	for _, s := range faulted.StageLog() {
+		stageWasted += s.BytesWasted
+	}
+	if retried.BytesWasted != stageWasted {
+		t.Errorf("Metrics.BytesWasted=%d but stage rollups sum to %d", retried.BytesWasted, stageWasted)
+	}
+}
+
+// TestAccumulatorExactlyOnceUnderRetry shows the two contract modes side by
+// side: AddOnSuccess counts each partition exactly once under retry, while a
+// plain Add before the failure point double-counts (documenting why the
+// contract exists).
+func TestAccumulatorExactlyOnceUnderRetry(t *testing.T) {
+	c := testCluster(t, Config{Machines: 3})
+	exact := NewIntAccumulator()
+	leaky := NewIntAccumulator()
+	var injected atomic.Int64
+	r := Parallelize(c, "nums", ints(40), 4)
+	err := r.ForeachPartition(func(tc *TaskCtx, p int, items []int) error {
+		leaky.Add(int64(len(items)))              // plain add before the failure point: double-counts
+		exact.AddOnSuccess(tc, int64(len(items))) // deferred: committed only on success
+		if injected.Add(1) <= 2 {                 // fail the first two attempts after their adds ran
+			return errInjectedForTest(tc.Machine, p)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := exact.Value(); got != 40 {
+		t.Errorf("AddOnSuccess total = %d, want exactly 40", got)
+	}
+	// Each of the 4 partitions holds 10 items; the 2 failed attempts each
+	// leaked their add, so the plain accumulator over-counts to exactly 60.
+	if got := leaky.Value(); got != 60 {
+		t.Errorf("plain Add total = %d; expected the documented over-count of 60", got)
+	}
+}
+
+// errInjectedForTest builds a retryable failure for closures that fail after
+// their side effects ran.
+func errInjectedForTest(m, p int) error {
+	return fmt.Errorf("injected post-add failure on machine %d task %d: %w", m, p, errRetryable)
+}
+
+// TestRetryPlacementSingleMachine: with one machine, a retry must re-land on
+// it (the old (m+1)%Machines arithmetic happened to do this; the dead-machine
+// skip must keep doing it).
+func TestRetryPlacementSingleMachine(t *testing.T) {
+	c := testCluster(t, Config{Machines: 1})
+	c.InjectTaskFailures("collect:solo", 1)
+	r := Parallelize(c, "solo", ints(10), 2)
+	got, err := r.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("collected %d", len(got))
+	}
+	if c.Metrics().TaskRetries.Load() != 1 {
+		t.Fatalf("retries = %d, want 1", c.Metrics().TaskRetries.Load())
+	}
+}
+
+// TestRetryPlacementSkipsDeadMachine: after a kill, no attempt may be placed
+// on the dead machine.
+func TestRetryPlacementSkipsDeadMachine(t *testing.T) {
+	c := testCluster(t, Config{Machines: 3, TaskTrace: true})
+	c.KillMachine(1)
+	r := Parallelize(c, "survivors", ints(30), 6)
+	if _, err := r.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range c.Trace() {
+		if tr.Machine == 1 {
+			t.Fatalf("task %s[%d] placed on dead machine 1", tr.Stage, tr.Partition)
+		}
+	}
+}
+
+// TestNoHealthyMachineFailsFast: killing every machine must produce a clear
+// error, not a hang or a placement on a corpse.
+func TestNoHealthyMachineFailsFast(t *testing.T) {
+	c := testCluster(t, Config{Machines: 2})
+	c.KillMachine(0)
+	c.KillMachine(1)
+	_, err := Parallelize(c, "doomed", ints(10), 2).Collect()
+	if err == nil {
+		t.Fatal("expected failure with all machines dead")
+	}
+	if !strings.Contains(err.Error(), "no healthy machine") {
+		t.Fatalf("error %q does not name the cause", err)
+	}
+}
+
+// TestKillMachineEvictsCache: killing a machine must release its cached
+// partitions' memory and lineage must recompute them on survivors.
+func TestKillMachineEvictsCache(t *testing.T) {
+	c := testCluster(t, Config{Machines: 3, MemoryPerMachine: 1 << 20})
+	r := Parallelize(c, "pinned", ints(300), 6).Cache()
+	if err := r.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	victim := 1
+	before := c.UsedMemory(victim)
+	if before == 0 {
+		t.Fatal("no cached bytes on the victim machine")
+	}
+	c.KillMachine(victim)
+	if got := c.UsedMemory(victim); got != 0 {
+		t.Fatalf("dead machine still charged %d bytes", got)
+	}
+	got, err := r.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 300 {
+		t.Fatalf("collected %d after recompute", len(got))
+	}
+	var evicts, kills int
+	for _, ev := range c.Recoveries() {
+		switch ev.Kind {
+		case RecoveryCacheEvict:
+			evicts++
+		case RecoveryMachineKill:
+			kills++
+		}
+	}
+	if kills != 1 || evicts == 0 {
+		t.Fatalf("recovery log: kills=%d cache evicts=%d", kills, evicts)
+	}
+	// The recomputed partitions must now be cached on survivors only.
+	if err := r.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	if c.UsedMemory(victim) != 0 {
+		t.Fatal("recompute re-cached onto the dead machine")
+	}
+}
+
+// TestKillMachineRecomputesShuffleOutput: in-memory map outputs on the dead
+// machine are lost and must be recomputed from lineage by the fetching task.
+func TestKillMachineRecomputesShuffleOutput(t *testing.T) {
+	c := testCluster(t, Config{Machines: 3})
+	pairs := make([]KV[int, int], 90)
+	want := map[int]int{}
+	for i := range pairs {
+		pairs[i] = KV[int, int]{i % 9, i}
+		want[i%9] += i
+	}
+	r := ReduceByKey(Parallelize(c, "pairs", pairs, 6), "sums", 3, func(a, b int) int { return a + b })
+	// Run the map stage, then kill a machine before the reduce fetches.
+	if err := r.ensureDeps(); err != nil {
+		t.Fatal(err)
+	}
+	c.KillMachine(0)
+	got, err := CollectAsMap(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %d = %d, want %d", k, got[k], v)
+		}
+	}
+	var recomputes, evicts int
+	for _, ev := range c.Recoveries() {
+		switch ev.Kind {
+		case RecoveryShuffleRecompute:
+			recomputes++
+		case RecoveryShuffleEvict:
+			evicts++
+		}
+	}
+	if evicts == 0 || recomputes == 0 {
+		t.Fatalf("recovery log: shuffle evicts=%d recomputes=%d, want both > 0", evicts, recomputes)
+	}
+}
+
+// TestKillMachineSparesDiskShuffle: ModeMapReduce spills model replicated
+// HDFS storage — a machine kill must not invalidate them.
+func TestKillMachineSparesDiskShuffle(t *testing.T) {
+	c := testCluster(t, Config{Machines: 3, Mode: ModeMapReduce})
+	pairs := make([]KV[int, int], 60)
+	for i := range pairs {
+		pairs[i] = KV[int, int]{i % 6, 1}
+	}
+	r := ReduceByKey(Parallelize(c, "pairs", pairs, 6), "counts", 3, func(a, b int) int { return a + b })
+	if err := r.ensureDeps(); err != nil {
+		t.Fatal(err)
+	}
+	c.KillMachine(2)
+	got, err := CollectAsMap(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 6 {
+		t.Fatalf("got %d keys", len(got))
+	}
+	for _, ev := range c.Recoveries() {
+		if ev.Kind == RecoveryShuffleEvict || ev.Kind == RecoveryShuffleRecompute {
+			t.Fatalf("disk-backed shuffle reported %s after kill", ev.Kind)
+		}
+	}
+}
+
+// TestKillMachineReleasesBroadcast: the dead machine's broadcast replica
+// charge is freed; live machines keep theirs until Release.
+func TestKillMachineReleasesBroadcast(t *testing.T) {
+	c := testCluster(t, Config{Machines: 3, MemoryPerMachine: 1 << 20})
+	b, err := NewBroadcast(c, "gram", make([]float64, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.KillMachine(2)
+	if got := c.UsedMemory(2); got != 0 {
+		t.Fatalf("dead machine still charged %d", got)
+	}
+	for m := 0; m < 2; m++ {
+		if c.UsedMemory(m) != b.SizeBytes() {
+			t.Fatalf("live machine %d charged %d, want %d", m, c.UsedMemory(m), b.SizeBytes())
+		}
+	}
+	b.Release()
+	for m := 0; m < 3; m++ {
+		if c.UsedMemory(m) != 0 {
+			t.Fatalf("machine %d charged %d after Release", m, c.UsedMemory(m))
+		}
+	}
+	// New broadcasts skip the corpse.
+	used := c.UsedMemory(2)
+	if _, err := NewBroadcast(c, "late", make([]float64, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if c.UsedMemory(2) != used {
+		t.Fatal("broadcast after kill charged the dead machine")
+	}
+}
+
+// TestTaskRunningOnKilledMachineIsRetried: a task whose machine dies mid-run
+// must have its attempt discarded and re-run on a survivor.
+func TestTaskRunningOnKilledMachineIsRetried(t *testing.T) {
+	c := testCluster(t, Config{Machines: 2, CoresPerMachine: 1, TaskTrace: true})
+	killed := make(chan struct{})
+	r := Parallelize(c, "longrun", ints(20), 2)
+	err := r.ForeachPartition(func(tc *TaskCtx, p int, items []int) error {
+		if tc.Machine == 0 && !tc.c.machineDead(0) {
+			// First attempt on machine 0: kill it from a helper goroutine
+			// (KillMachine is driver-side API) and wait for the corpse.
+			go func() { tc.c.KillMachine(0); close(killed) }()
+			<-killed
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Metrics().TaskRetries.Load() == 0 {
+		t.Fatal("no retry recorded for the attempt that outlived its machine")
+	}
+	var sawDiscard bool
+	for _, tr := range c.Trace() {
+		if strings.Contains(tr.Error, "died while running") {
+			sawDiscard = true
+		}
+	}
+	if !sawDiscard {
+		t.Fatal("task trace does not show the machine-loss discard")
+	}
+}
+
+// TestFaultPlanDeterministicInjection: the same plan injects the same number
+// of failures on every run, and the plan never fails a retry.
+func TestFaultPlanDeterministicInjection(t *testing.T) {
+	run := func() int64 {
+		c := testCluster(t, Config{
+			Machines: 3,
+			Fault:    &FaultPlan{Seed: 11, TaskFailureProb: 0.5},
+		})
+		r := Parallelize(c, "planned", ints(100), 10)
+		for round := 0; round < 3; round++ {
+			if _, err := r.Collect(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c.Metrics().TaskRetries.Load()
+	}
+	first := run()
+	if first == 0 {
+		t.Fatal("plan with prob 0.5 injected nothing")
+	}
+	for trial := 0; trial < 3; trial++ {
+		if got := run(); got != first {
+			t.Fatalf("trial %d injected %d failures, first run %d — plan is not deterministic", trial, got, first)
+		}
+	}
+}
+
+// TestFaultPlanKillAtStage fires the kill exactly when the configured stage
+// starts.
+func TestFaultPlanKillAtStage(t *testing.T) {
+	c := testCluster(t, Config{
+		Machines: 3,
+		Fault:    &FaultPlan{KillMachine: 1, KillAtStage: 2},
+	})
+	r := Parallelize(c, "staged", ints(30), 3)
+	for round := 0; round < 4; round++ {
+		if _, err := r.Collect(); err != nil {
+			t.Fatal(err)
+		}
+		alive := c.HealthyMachines()
+		if round < 2 && alive != 3 {
+			t.Fatalf("machine killed before stage 2 (after stage %d)", round)
+		}
+		if round >= 2 && alive != 2 {
+			t.Fatalf("kill did not fire by stage %d", round)
+		}
+	}
+	if !c.machineDead(1) {
+		t.Fatal("wrong machine killed")
+	}
+}
+
+// TestFaultPlanStragglerShowsInSkew: straggler delays must land inside task
+// timing.
+func TestFaultPlanStragglerShowsInSkew(t *testing.T) {
+	c := testCluster(t, Config{
+		Machines: 2,
+		Fault:    &FaultPlan{Seed: 3, StragglerProb: 0.3, StragglerDelay: 20 * time.Millisecond},
+	})
+	r := Parallelize(c, "slowpoke", ints(64), 8)
+	if _, err := r.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	var maxTask time.Duration
+	for _, s := range c.StageLog() {
+		if s.MaxTask > maxTask {
+			maxTask = s.MaxTask
+		}
+	}
+	if maxTask < 20*time.Millisecond {
+		t.Fatalf("max task %v does not include the straggler delay", maxTask)
+	}
+}
+
+// TestParseFaultPlan covers the CLI spec round trip and its error cases.
+func TestParseFaultPlan(t *testing.T) {
+	f, err := ParseFaultPlan("seed=7,failprob=0.02,maxfail=10,kill=1@5,stragglerprob=0.05,stragglerdelay=5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FaultPlan{Seed: 7, TaskFailureProb: 0.02, MaxTaskFailures: 10,
+		KillMachine: 1, KillAtStage: 5, StragglerProb: 0.05, StragglerDelay: 5 * time.Millisecond}
+	if *f != want {
+		t.Fatalf("parsed %+v, want %+v", *f, want)
+	}
+	for _, bad := range []string{"frobnicate=1", "kill=3", "failprob=x", "seed"} {
+		if _, err := ParseFaultPlan(bad); err == nil {
+			t.Errorf("ParseFaultPlan(%q) accepted garbage", bad)
+		}
+	}
+}
+
+// TestRetryBackoffDelaysRetries: with a backoff base configured, a retried
+// task's queue wait must include the delay.
+func TestRetryBackoffDelaysRetries(t *testing.T) {
+	c := testCluster(t, Config{Machines: 2, TaskTrace: true, RetryBackoff: 15 * time.Millisecond})
+	c.InjectTaskFailures("collect:patience", 1)
+	if _, err := Parallelize(c, "patience", ints(10), 2).Collect(); err != nil {
+		t.Fatal(err)
+	}
+	var sawBackoff bool
+	for _, tr := range c.Trace() {
+		if tr.Attempt > 0 && tr.Queue >= 15*time.Millisecond {
+			sawBackoff = true
+		}
+	}
+	if !sawBackoff {
+		t.Fatal("retried attempt's queue wait does not include the backoff delay")
+	}
+}
+
+// TestMaxTaskRetriesConfigurable: a budget of 5 survives 5 consecutive
+// injected failures of the same task; the default budget of 2 would not.
+func TestMaxTaskRetriesConfigurable(t *testing.T) {
+	c := testCluster(t, Config{Machines: 1, MaxTaskRetries: 5})
+	c.InjectTaskFailures("collect:stubborn", 5)
+	got, err := Parallelize(c, "stubborn", ints(10), 1).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("collected %d", len(got))
+	}
+	if c.Metrics().TaskRetries.Load() != 5 {
+		t.Fatalf("retries = %d, want 5", c.Metrics().TaskRetries.Load())
+	}
+
+	// Negative disables retries entirely.
+	c2 := testCluster(t, Config{Machines: 2, MaxTaskRetries: -1})
+	c2.InjectTaskFailures("collect:fragile", 1)
+	if _, err := Parallelize(c2, "fragile", ints(10), 2).Collect(); err == nil {
+		t.Fatal("MaxTaskRetries=-1 still retried")
+	}
+}
+
+// TestCheckpointDiskByteSymmetry asserts the Checkpoint IO contract: written
+// once, counted once; read back k times, counted k times.
+func TestCheckpointDiskByteSymmetry(t *testing.T) {
+	c := testCluster(t, Config{Machines: 2})
+	r := Parallelize(c, "src", ints(200), 4)
+	ck, err := Checkpoint(r, "ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	written := c.Metrics().DiskBytesWrite.Load()
+	if written == 0 {
+		t.Fatal("checkpoint wrote no bytes")
+	}
+	const rereads = 3
+	for i := 0; i < rereads; i++ {
+		if _, err := ck.Collect(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Metrics().DiskBytesRead.Load(); got != rereads*written {
+		t.Fatalf("disk reads %d after %d re-reads of %d written bytes; want %d",
+			got, rereads, written, rereads*written)
+	}
+	if got := c.Metrics().DiskBytesWrite.Load(); got != written {
+		t.Fatalf("disk writes grew to %d on re-read", got)
+	}
+}
+
+// TestCheckpointFilesDeletedOnUnpersist: Unpersist of the checkpoint RDD must
+// delete its files.
+func TestCheckpointFilesDeletedOnUnpersist(t *testing.T) {
+	dir := t.TempDir()
+	c := testCluster(t, Config{Mode: ModeMapReduce, DiskDir: dir, Machines: 2})
+	ck, err := Checkpoint(Parallelize(c, "src", ints(100), 3), "ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := countFiles(t, dir, "ckpt"); n != 3 {
+		t.Fatalf("checkpoint left %d files, want 3", n)
+	}
+	ck.Unpersist()
+	if n := countFiles(t, dir, "ckpt"); n != 0 {
+		t.Fatalf("%d checkpoint files survive Unpersist", n)
+	}
+}
+
+// TestCheckpointFilesDeletedOnClose: Close must delete live checkpoint files
+// even from a caller-owned DiskDir it won't RemoveAll.
+func TestCheckpointFilesDeletedOnClose(t *testing.T) {
+	dir := t.TempDir()
+	c := MustNewCluster(Config{Mode: ModeMapReduce, DiskDir: dir, Machines: 2})
+	if _, err := Checkpoint(Parallelize(c, "src", ints(100), 3), "ck"); err != nil {
+		t.Fatal(err)
+	}
+	if n := countFiles(t, dir, "ckpt"); n == 0 {
+		t.Fatal("no checkpoint files written")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := countFiles(t, dir, "ckpt"); n != 0 {
+		t.Fatalf("%d checkpoint files survive Close of a non-owned DiskDir", n)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("Close removed the caller-owned dir: %v", err)
+	}
+}
+
+func countFiles(t *testing.T, dir, prefix string) int {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), prefix) {
+			n++
+		}
+	}
+	return n
+}
+
+// TestSummaryReportsRecovery: the Summary table must carry the recovery story.
+func TestSummaryReportsRecovery(t *testing.T) {
+	c := testCluster(t, Config{Machines: 3})
+	c.InjectTaskFailures("collect:observed", 1)
+	r := Parallelize(c, "observed", ints(30), 3).Cache()
+	if err := r.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	c.KillMachine(2)
+	if _, err := r.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	sum := c.Summary()
+	for _, want := range []string{"wastedB", "recovery events:", RecoveryMachineKill, RecoveryTaskRetry} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("Summary missing %q:\n%s", want, sum)
+		}
+	}
+}
+
+// TestKillMachineIdempotentAndBounded: double kills are no-ops; out-of-range
+// panics.
+func TestKillMachineIdempotentAndBounded(t *testing.T) {
+	c := testCluster(t, Config{Machines: 2})
+	c.KillMachine(0)
+	c.KillMachine(0)
+	kills := 0
+	for _, ev := range c.Recoveries() {
+		if ev.Kind == RecoveryMachineKill {
+			kills++
+		}
+	}
+	if kills != 1 {
+		t.Fatalf("double kill recorded %d events", kills)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("KillMachine(99) did not panic")
+		}
+	}()
+	c.KillMachine(99)
+}
+
+// TestRetryableErrorStillRetryable guards the errRetryable wrapping used by
+// machine-loss discards.
+func TestRetryableErrorStillRetryable(t *testing.T) {
+	if !errors.Is(errInjectedForTest(0, 0), errRetryable) {
+		t.Fatal("test error does not unwrap to errRetryable")
+	}
+}
+
+// TestCheckpointCutsLineageSurvivesKill: after checkpointing, a machine kill
+// recovers by re-reading checkpoint files instead of replaying the cut
+// lineage.
+func TestCheckpointCutsLineageSurvivesKill(t *testing.T) {
+	c := testCluster(t, Config{Machines: 3})
+	var recomputed atomic.Int64
+	src := MapPartitions(Parallelize(c, "raw", ints(120), 4), "tracked",
+		func(tc *TaskCtx, p int, in []int) ([]int, error) {
+			recomputed.Add(1)
+			return in, nil
+		})
+	ck, err := Checkpoint(src, "ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := recomputed.Load()
+	r := ck.Cache()
+	if err := r.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	c.KillMachine(1)
+	got, err := r.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 120 {
+		t.Fatalf("collected %d", len(got))
+	}
+	if extra := recomputed.Load() - base; extra != 0 {
+		t.Fatalf("kill recovery replayed the cut lineage (%d extra recomputes); want re-read from checkpoint", extra)
+	}
+}

@@ -26,6 +26,8 @@ type RDD[T any] struct {
 	cacheMu sync.Mutex
 	cached  bool
 	cparts  []cachedPart[T]
+	evictID int64  // KillMachine eviction registration while cached
+	cleanup func() // extra teardown on Unpersist (checkpoint file removal)
 }
 
 type cachedPart[T any] struct {
@@ -104,6 +106,11 @@ func (r *RDD[T]) computePartition(tc *TaskCtx, p int) ([]T, error) {
 	if err != nil {
 		return nil, err
 	}
+	if r.c.machineDead(tc.Machine) {
+		// The machine died under this task: the attempt will be discarded
+		// and retried, so don't pin its output to a dead machine's cache.
+		return items, nil
+	}
 	size := EstimateSize(items)
 	if err := r.c.charge(tc.Machine, size); err != nil {
 		return nil, fmt.Errorf("rdd: caching partition %d of %s: %w", p, r.name, err)
@@ -128,29 +135,73 @@ func (r *RDD[T]) Cache() *RDD[T] {
 	if !r.cached {
 		r.cached = true
 		r.cparts = make([]cachedPart[T], r.parts)
+		r.evictID = r.c.registerEvictor(r)
 	}
 	return r
 }
 
-// Unpersist drops cached partitions and releases their memory.
+// Unpersist drops cached partitions, releases their memory, and deletes any
+// checkpoint files backing the RDD.
 func (r *RDD[T]) Unpersist() {
 	r.cacheMu.Lock()
-	defer r.cacheMu.Unlock()
-	if !r.cached {
+	if r.cached {
+		for p := range r.cparts {
+			cp := &r.cparts[p]
+			cp.mu.Lock()
+			if cp.done {
+				r.c.release(cp.machine, cp.bytes)
+				cp.done = false
+				cp.items = nil
+			}
+			cp.mu.Unlock()
+		}
+		r.cached = false
+		r.cparts = nil
+	}
+	evictID := r.evictID
+	r.evictID = 0
+	cleanup := r.cleanup
+	r.cleanup = nil
+	r.cacheMu.Unlock()
+	if evictID != 0 {
+		r.c.unregisterEvictor(evictID)
+	}
+	if cleanup != nil {
+		cleanup()
+	}
+}
+
+// evictMachine drops the cached partitions machine m held; they recompute
+// from lineage (onto a surviving machine) on next access.
+func (r *RDD[T]) evictMachine(m int) {
+	r.cacheMu.Lock()
+	cached := r.cached
+	cparts := r.cparts
+	r.cacheMu.Unlock()
+	if !cached {
 		return
 	}
-	for p := range r.cparts {
-		cp := &r.cparts[p]
+	n := 0
+	for p := range cparts {
+		cp := &cparts[p]
 		cp.mu.Lock()
-		if cp.done {
-			r.c.release(cp.machine, cp.bytes)
+		if cp.done && cp.machine == m {
+			r.c.release(m, cp.bytes)
 			cp.done = false
 			cp.items = nil
+			n++
 		}
 		cp.mu.Unlock()
 	}
-	r.cached = false
-	r.cparts = nil
+	if n > 0 {
+		r.c.recordRecovery(RecoveryEvent{
+			Kind:      RecoveryCacheEvict,
+			Stage:     r.name,
+			Partition: -1,
+			Machine:   m,
+			Cause:     fmt.Sprintf("%d cached partition(s) lost; recompute from lineage on next access", n),
+		})
+	}
 }
 
 // Materialize computes and caches every partition now (an action). It is how

@@ -24,15 +24,21 @@ type exchange[R any] struct {
 	// parentDeps are materialized before the map stage runs.
 	parentDeps []dep
 
-	once   sync.Once
-	err    error
-	blocks [][][]byte // [mapPart][reducePart] (nil entries in disk mode)
-	files  [][]string // paths in disk mode
+	once sync.Once
+	err  error
+
+	// mu guards the map-output state below: stage tasks publish into it,
+	// KillMachine evicts from it, and fetch recomputes lost entries under it.
+	mu       sync.Mutex
+	blocks   [][][]byte // [mapPart][reducePart] (nil entries in disk mode)
+	files    [][]string // paths in disk mode
+	machines []int      // machine whose memory holds map part p's output (-1: none)
+	lost     []bool     // map outputs evicted by a machine kill, pending recompute
 }
 
 func newExchange[R any](c *Cluster, name string, parentDeps []dep, mapParts, reduceParts int,
 	buckets func(tc *TaskCtx, mapPart int) ([][]R, error)) *exchange[R] {
-	return &exchange[R]{
+	e := &exchange[R]{
 		c:           c,
 		id:          c.newID(),
 		name:        name,
@@ -41,6 +47,55 @@ func newExchange[R any](c *Cluster, name string, parentDeps []dep, mapParts, red
 		buckets:     buckets,
 		parentDeps:  parentDeps,
 	}
+	c.registerEvictor(e)
+	return e
+}
+
+// evictMachine marks the in-memory map outputs the dead machine held as lost;
+// fetch recomputes them from lineage on demand. ModeMapReduce spill files
+// model replicated HDFS storage and survive machine loss.
+func (e *exchange[R]) evictMachine(m int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.blocks == nil || e.c.cfg.Mode == ModeMapReduce {
+		return
+	}
+	n := 0
+	for p := range e.blocks {
+		if e.machines[p] == m {
+			e.blocks[p] = nil
+			e.machines[p] = -1
+			e.lost[p] = true
+			n++
+		}
+	}
+	if n > 0 {
+		e.c.recordRecovery(RecoveryEvent{
+			Kind:      RecoveryShuffleEvict,
+			Stage:     e.name,
+			Partition: -1,
+			Machine:   m,
+			Cause:     fmt.Sprintf("%d map output(s) lost; recompute from lineage on next fetch", n),
+		})
+	}
+}
+
+// encodeShuffleBuckets serializes one map task's buckets, counting every
+// serialized byte as the producing task's shuffle traffic.
+func encodeShuffleBuckets[R any](tc *TaskCtx, bs [][]R) ([][]byte, error) {
+	enc := make([][]byte, len(bs))
+	for rp, records := range bs {
+		if len(records) == 0 {
+			continue
+		}
+		data, err := encodeBlock(records)
+		if err != nil {
+			return nil, fmt.Errorf("rdd: encoding shuffle block: %w", err)
+		}
+		tc.CountShuffled(int64(len(data)))
+		enc[rp] = data
+	}
+	return enc, nil
 }
 
 // ensure runs the map (shuffle-write) stage exactly once.
@@ -51,8 +106,15 @@ func (e *exchange[R]) ensure() error {
 				return
 			}
 		}
+		e.mu.Lock()
 		e.blocks = make([][][]byte, e.mapParts)
 		e.files = make([][]string, e.mapParts)
+		e.machines = make([]int, e.mapParts)
+		for p := range e.machines {
+			e.machines[p] = -1
+		}
+		e.lost = make([]bool, e.mapParts)
+		e.mu.Unlock()
 		e.err = e.c.runStage("shuffle-write:"+e.name, e.mapParts, func(tc *TaskCtx, p int) error {
 			bs, err := e.buckets(tc, p)
 			if err != nil {
@@ -61,21 +123,17 @@ func (e *exchange[R]) ensure() error {
 			if len(bs) != e.reduceParts {
 				return fmt.Errorf("rdd: shuffle %s map task %d produced %d buckets, want %d", e.name, p, len(bs), e.reduceParts)
 			}
-			enc := make([][]byte, e.reduceParts)
+			enc, err := encodeShuffleBuckets(tc, bs)
+			if err != nil {
+				return err
+			}
 			var paths []string
 			if e.c.cfg.Mode == ModeMapReduce {
 				paths = make([]string, e.reduceParts)
-			}
-			for rp, records := range bs {
-				if len(records) == 0 {
-					continue
-				}
-				data, err := encodeBlock(records)
-				if err != nil {
-					return fmt.Errorf("rdd: encoding shuffle block: %w", err)
-				}
-				tc.CountShuffled(int64(len(data)))
-				if e.c.cfg.Mode == ModeMapReduce {
+				for rp, data := range enc {
+					if data == nil {
+						continue
+					}
 					path := filepath.Join(e.c.tmpDir, fmt.Sprintf("ex%d-m%d-r%d.blk", e.id, p, rp))
 					if err := os.WriteFile(path, data, 0o600); err != nil {
 						return fmt.Errorf("rdd: spilling shuffle block: %w", err)
@@ -83,20 +141,60 @@ func (e *exchange[R]) ensure() error {
 					tc.countSpillWrite(int64(len(data)))
 					e.c.diskDelay(len(data))
 					paths[rp] = path
-				} else {
-					enc[rp] = data
+					enc[rp] = nil // spilled: no in-memory copy to lose
 				}
 			}
+			e.mu.Lock()
 			e.blocks[p] = enc
 			e.files[p] = paths
+			e.machines[p] = tc.Machine
+			e.lost[p] = false
+			e.mu.Unlock()
 			return nil
 		})
 	})
 	return e.err
 }
 
+// blockFor returns map part mp's encoded bucket for reduce partition rp in
+// ModeInMemory, recomputing the whole map partition from lineage first if a
+// machine kill evicted it — Spark's FetchFailed → parent-stage re-execution,
+// collapsed into the fetching task (which pays and records the recompute).
+func (e *exchange[R]) blockFor(tc *TaskCtx, mp, rp int) ([]byte, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.lost[mp] {
+		return e.blocks[mp][rp], nil
+	}
+	start := time.Now()
+	bs, err := e.buckets(tc, mp)
+	if err != nil {
+		return nil, fmt.Errorf("rdd: recomputing lost map output %d of shuffle %s: %w", mp, e.name, err)
+	}
+	if len(bs) != e.reduceParts {
+		return nil, fmt.Errorf("rdd: shuffle %s map task %d produced %d buckets, want %d", e.name, mp, len(bs), e.reduceParts)
+	}
+	enc, err := encodeShuffleBuckets(tc, bs)
+	if err != nil {
+		return nil, err
+	}
+	e.blocks[mp] = enc
+	e.machines[mp] = tc.Machine
+	e.lost[mp] = false
+	e.c.recordRecovery(RecoveryEvent{
+		Kind:      RecoveryShuffleRecompute,
+		Stage:     e.name,
+		Partition: mp,
+		Machine:   tc.Machine,
+		Cause:     "lost map output recomputed from lineage",
+		Cost:      time.Since(start),
+	})
+	return enc[rp], nil
+}
+
 // fetch returns the decoded records destined for reduce partition rp,
-// attributing any disk reads to the fetching task.
+// attributing any disk reads (and lost-block recomputes) to the fetching
+// task.
 func (e *exchange[R]) fetch(tc *TaskCtx, rp int) ([]R, error) {
 	if err := e.ensure(); err != nil {
 		return nil, err
@@ -116,7 +214,11 @@ func (e *exchange[R]) fetch(tc *TaskCtx, rp int) ([]R, error) {
 			tc.countSpillRead(int64(len(data)))
 			e.c.diskDelay(len(data))
 		} else {
-			data = e.blocks[mp][rp]
+			var err error
+			data, err = e.blockFor(tc, mp, rp)
+			if err != nil {
+				return nil, err
+			}
 			if data == nil {
 				continue
 			}

@@ -16,31 +16,61 @@ import (
 func (c *Cluster) Summary() string {
 	stages := c.StageLog()
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-34s %-10s %5s %10s %10s %5s %12s %12s %6s\n",
-		"stage", "tag", "tasks", "wall", "critical", "retry", "shuffledB", "spilledB", "skew")
+	fmt.Fprintf(&b, "%-34s %-10s %5s %10s %10s %5s %12s %12s %10s %6s\n",
+		"stage", "tag", "tasks", "wall", "critical", "retry", "shuffledB", "spilledB", "wastedB", "skew")
 	var totalWall, totalCritical time.Duration
-	var totalShuffled, totalSpilled int64
+	var totalShuffled, totalSpilled, totalWasted int64
 	totalTasks, totalRetries := 0, 0
 	for _, s := range stages {
-		fmt.Fprintf(&b, "%-34s %-10s %5d %10s %10s %5d %12d %12d %6.2f\n",
+		fmt.Fprintf(&b, "%-34s %-10s %5d %10s %10s %5d %12d %12d %10d %6.2f\n",
 			s.Name, s.Tag, s.Tasks, fmtDur(s.Wall), fmtDur(s.Critical),
-			s.Retries, s.BytesShuffled, s.BytesSpilled, s.Skew())
+			s.Retries, s.BytesShuffled, s.BytesSpilled, s.BytesWasted, s.Skew())
 		totalWall += s.Wall
 		totalCritical += s.Critical
 		totalShuffled += s.BytesShuffled
 		totalSpilled += s.BytesSpilled
+		totalWasted += s.BytesWasted
 		totalTasks += s.Tasks
 		totalRetries += s.Retries
 	}
-	fmt.Fprintf(&b, "%-34s %-10s %5d %10s %10s %5d %12d %12d\n",
+	fmt.Fprintf(&b, "%-34s %-10s %5d %10s %10s %5d %12d %12d %10d\n",
 		fmt.Sprintf("TOTAL (%d stages)", len(stages)), "", totalTasks,
-		fmtDur(totalWall), fmtDur(totalCritical), totalRetries, totalShuffled, totalSpilled)
+		fmtDur(totalWall), fmtDur(totalCritical), totalRetries, totalShuffled, totalSpilled, totalWasted)
 	if spans := c.DriverSpans(); len(spans) > 0 {
 		var driver time.Duration
 		for _, sp := range spans {
 			driver += sp.Dur
 		}
 		fmt.Fprintf(&b, "driver spans: %d totaling %s\n", len(spans), fmtDur(driver))
+	}
+	if recs := c.Recoveries(); len(recs) > 0 {
+		counts := map[string]int{}
+		for _, r := range recs {
+			counts[r.Kind]++
+		}
+		fmt.Fprintf(&b, "recovery events: %d", len(recs))
+		for _, kind := range []string{
+			RecoveryMachineKill, RecoveryTaskRetry, RecoveryCacheEvict,
+			RecoveryShuffleEvict, RecoveryBroadcastEvict, RecoveryShuffleRecompute,
+		} {
+			if n := counts[kind]; n > 0 {
+				fmt.Fprintf(&b, "  %s=%d", kind, n)
+			}
+		}
+		b.WriteString("\n")
+		for _, r := range recs {
+			fmt.Fprintf(&b, "  %-18s at=%-10s machine=%-2d", r.Kind, fmtDur(r.At), r.Machine)
+			if r.Stage != "" {
+				fmt.Fprintf(&b, " stage=%s", r.Stage)
+			}
+			if r.Partition >= 0 {
+				fmt.Fprintf(&b, " part=%d attempt=%d", r.Partition, r.Attempt)
+			}
+			if r.Cost > 0 {
+				fmt.Fprintf(&b, " cost=%s", fmtDur(r.Cost))
+			}
+			fmt.Fprintf(&b, " cause=%q\n", r.Cause)
+		}
 	}
 	return b.String()
 }
@@ -67,6 +97,7 @@ type chromeEvent struct {
 	Dur  float64        `json:"dur,omitempty"`
 	PID  int            `json:"pid"`
 	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant-event scope ("g" = global)
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -77,20 +108,23 @@ type chromeTrace struct {
 }
 
 // Process/thread layout of the exported trace: the driver is pid 0 (stages on
-// tid 0, driver-side spans on tid 1); machine m is pid m+1 with one thread
-// per partition a task ran on.
+// tid 0, driver-side spans on tid 1, recovery instants on tid 2); machine m
+// is pid m+1 with one thread per partition a task ran on.
 const (
-	chromeDriverPID = 0
-	chromeStageTID  = 0
-	chromeDriverTID = 1
+	chromeDriverPID   = 0
+	chromeStageTID    = 0
+	chromeDriverTID   = 1
+	chromeRecoveryTID = 2
 )
 
 // WriteChromeTrace exports the cluster's execution history in the Chrome
 // trace-event JSON format (chrome://tracing, Perfetto, speedscope): one span
 // per stage and per recorded driver span always, plus one span per task
-// attempt when the cluster was built with Config.TaskTrace. Stage and task
-// args carry the observability counters (bytes, retries, skew, queue wait) so
-// the shuffle-volume story of Lemma 3 can be read straight off the timeline.
+// attempt when the cluster was built with Config.TaskTrace, plus one global
+// instant per recovery event (machine kills, retries, evictions, lineage
+// recomputes) on the driver's recovery lane. Stage and task args carry the
+// observability counters (bytes, retries, skew, queue wait) so the
+// shuffle-volume story of Lemma 3 can be read straight off the timeline.
 func (c *Cluster) WriteChromeTrace(w io.Writer) error {
 	events := []chromeEvent{{
 		Name: "process_name", Ph: "M", PID: chromeDriverPID,
@@ -118,8 +152,35 @@ func (c *Cluster) WriteChromeTrace(w io.Writer) error {
 				"retries":        s.Retries,
 				"bytes_shuffled": s.BytesShuffled,
 				"bytes_spilled":  s.BytesSpilled,
+				"bytes_wasted":   s.BytesWasted,
 				"skew":           s.Skew(),
 			},
+		})
+	}
+	for _, r := range c.Recoveries() {
+		args := map[string]any{"cause": r.Cause}
+		if r.Stage != "" {
+			args["stage"] = r.Stage
+		}
+		if r.Machine >= 0 {
+			args["machine"] = r.Machine
+		}
+		if r.Partition >= 0 {
+			args["partition"] = r.Partition
+			args["attempt"] = r.Attempt
+		}
+		if r.Cost > 0 {
+			args["cost_us"] = durMicros(r.Cost)
+		}
+		events = append(events, chromeEvent{
+			Name: r.Kind,
+			Cat:  "recovery",
+			Ph:   "i",
+			S:    "g",
+			TS:   micros(r.At),
+			PID:  chromeDriverPID,
+			TID:  chromeRecoveryTID,
+			Args: args,
 		})
 	}
 	for _, sp := range c.DriverSpans() {

@@ -134,7 +134,7 @@ func TestSummaryTable(t *testing.T) {
 }
 
 // TestChromeTraceSchema decodes the exported JSON and checks the trace-event
-// contract viewers rely on: ph∈{X,M}, X events carry non-negative ts and
+// contract viewers rely on: ph∈{X,M,i}, X events carry non-negative ts and
 // positive dur, pids map to declared processes, and every executed stage and
 // task appears.
 func TestChromeTraceSchema(t *testing.T) {
@@ -180,8 +180,14 @@ func TestChromeTraceSchema(t *testing.T) {
 				t.Errorf("malformed X event %+v", e)
 			}
 			seen[e.Name] = true
+		case "i":
+			// Recovery instants: named, located, zero-duration.
+			if e.Name == "" || e.TS < 0 {
+				t.Errorf("malformed instant event %+v", e)
+			}
+			seen[e.Name] = true
 		default:
-			t.Errorf("event %q has ph=%q, want X or M", e.Name, e.Ph)
+			t.Errorf("event %q has ph=%q, want X, M or i", e.Name, e.Ph)
 		}
 	}
 	// Driver + both machines must be declared, and every X event must land
