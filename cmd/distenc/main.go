@@ -81,6 +81,7 @@ func main() {
 		ckptDir   = flag.String("checkpoint-dir", "", "directory for solver checkpoints (required with -checkpoint-every; where -resume looks)")
 		resume    = flag.Bool("resume", false, "resume from the latest checkpoint in -checkpoint-dir instead of starting fresh")
 		faultSpec = flag.String("fault-plan", "", "seeded chaos schedule for the simulated cluster, e.g. \"seed=7,failprob=0.02,kill=1@5\" (needs -machines > 0; see distenc.ParseFaultPlan)")
+		specSpec  = flag.String("speculation", "", "speculative execution for straggler mitigation: \"on\" for defaults or \"quantile=0.75,multiplier=1.5,min=10ms\" (needs -machines > 0; see distenc.ParseSpeculation)")
 
 		traceOut = flag.String("trace", "", "write a Chrome-trace JSON (chrome://tracing, Perfetto) of every stage, task and driver span to this file (needs -machines > 0)")
 		stageSum = flag.Bool("stage-summary", false, "print the per-stage timing/shuffle table and per-iteration phase breakdown after solving")
@@ -166,6 +167,9 @@ func main() {
 		if *faultSpec != "" {
 			log.Fatal("-fault-plan needs the distributed solver (-machines > 0)")
 		}
+		if *specSpec != "" {
+			log.Fatal("-speculation needs the distributed solver (-machines > 0)")
+		}
 		if *resume {
 			res, err = distenc.Resume(t, similarities, opt)
 		} else {
@@ -179,13 +183,21 @@ func main() {
 				log.Fatal(err)
 			}
 		}
+		var spec distenc.SpeculationConfig
+		if *specSpec != "" {
+			spec, err = distenc.ParseSpeculation(*specSpec)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
 		// Per-task records cost memory proportional to task count, so the
 		// engine only keeps them when a trace was asked for; the per-stage
 		// rollups behind -stage-summary are always on.
 		c, err = distenc.NewCluster(distenc.ClusterConfig{
-			Machines:  *machines,
-			TaskTrace: *traceOut != "",
-			Fault:     fault,
+			Machines:    *machines,
+			TaskTrace:   *traceOut != "",
+			Fault:       fault,
+			Speculation: spec,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -47,6 +47,10 @@ type Profile struct {
 	// seeded chaos schedule (task failures, a machine kill, stragglers) so
 	// the recovery cost shows up in its stage table and recovery log.
 	Fault *rdd.FaultPlan
+	// Speculation, when enabled, runs the Phases experiment's cluster with
+	// speculative execution so straggler mitigation shows up in its stage
+	// table (spec/wastedB columns) and recovery log.
+	Speculation rdd.SpeculationConfig
 }
 
 func (p Profile) withDefaults() Profile {

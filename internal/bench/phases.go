@@ -33,6 +33,7 @@ func Phases(w io.Writer, p Profile) *core.Result {
 		MemoryPerMachine: p.MemoryPerMachine,
 		TaskTrace:        p.TraceFile != "",
 		Fault:            p.Fault,
+		Speculation:      p.Speculation,
 	})
 	if err != nil {
 		fmt.Fprintf(w, "cluster: %v\n", err)

@@ -6,6 +6,7 @@ import (
 	"os"
 	"strings"
 	"testing"
+	"time"
 
 	"distenc/internal/mat"
 	"distenc/internal/rdd"
@@ -97,7 +98,108 @@ func TestChaosSolveBitIdentical(t *testing.T) {
 					t.Errorf("Summary does not report %q:\n%s", needle, sum)
 				}
 			}
+			// Lemma 3 accounting: recovery work (failed attempts, lineage
+			// recomputes after the kill) must not inflate the exactly-once
+			// shuffle counter — it lands in BytesWasted/BytesRecomputed
+			// instead, so BytesShuffled stays bit-equal to the clean run.
+			cleanShuffled := clean.Metrics().BytesShuffled.Load()
+			if chaosShuffled := chaos.Metrics().BytesShuffled.Load(); chaosShuffled != cleanShuffled {
+				t.Errorf("chaos BytesShuffled = %d, clean = %d: recovery traffic double-counted",
+					chaosShuffled, cleanShuffled)
+			}
+			var recomputes int
+			for _, ev := range chaos.Recoveries() {
+				if ev.Kind == rdd.RecoveryShuffleRecompute {
+					recomputes++
+				}
+			}
+			if recomputes > 0 && chaos.Metrics().BytesRecomputed.Load() == 0 {
+				t.Errorf("%d shuffle recomputes but BytesRecomputed = 0", recomputes)
+			}
 			assertBitIdentical(t, "chaos vs clean", want.Model.Factors, got.Model.Factors)
+		})
+	}
+}
+
+// TestChaosSpeculationStragglers is the straggler-mitigation acceptance test:
+// a distributed solve under a seeded straggler plan with speculative
+// execution enabled must produce factors bit-identical to a failure-free
+// solve in both engine modes (duplicate attempts never corrupt results or
+// exactly-once totals), finish faster than the same straggler plan without
+// speculation, and surface the backup attempts in the metrics and recovery
+// log.
+func TestChaosSpeculationStragglers(t *testing.T) {
+	d := synth.LinearFactorDataset([]int{20, 20, 20}, 2, 1500, 71)
+	opts := Options{Rank: 3, MaxIter: 4, Tol: 0, Seed: 72}
+	plan := func() *rdd.FaultPlan {
+		return &rdd.FaultPlan{Seed: 11, StragglerProb: 0.2, StragglerDelay: 20 * time.Millisecond}
+	}
+	spec := rdd.SpeculationConfig{
+		Enabled: true, Quantile: 0.5, Multiplier: 2, MinDuration: 2 * time.Millisecond,
+	}
+
+	for _, tc := range []struct {
+		name string
+		mode rdd.Mode
+	}{
+		{"in-memory", rdd.ModeInMemory},
+		{"mapreduce", rdd.ModeMapReduce},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			clean := rdd.MustNewCluster(rdd.Config{Machines: 3, Mode: tc.mode})
+			defer clean.Close()
+			want, err := CompleteDistributed(clean, d.Tensor, d.Sims, DistOptions{Options: opts})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			slow := rdd.MustNewCluster(rdd.Config{Machines: 3, Mode: tc.mode, Fault: plan()})
+			start := time.Now()
+			if _, err := CompleteDistributed(slow, d.Tensor, d.Sims, DistOptions{Options: opts}); err != nil {
+				t.Fatal(err)
+			}
+			slowWall := time.Since(start)
+			slow.Close()
+
+			fast := rdd.MustNewCluster(rdd.Config{
+				Machines: 3, Mode: tc.mode, Fault: plan(), Speculation: spec,
+			})
+			defer fast.Close()
+			start = time.Now()
+			got, err := CompleteDistributed(fast, d.Tensor, d.Sims, DistOptions{Options: opts})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fastWall := time.Since(start)
+			fast.Quiesce() // drain out-raced stragglers before reading totals
+
+			assertBitIdentical(t, "speculation vs clean", want.Model.Factors, got.Model.Factors)
+			if n := fast.Metrics().SpeculativeTasks.Load(); n == 0 {
+				t.Fatal("no backup attempts launched against a 20% straggler plan")
+			}
+			if w := fast.Metrics().BytesWasted.Load(); w == 0 {
+				t.Error("BytesWasted = 0: out-raced attempts' traffic vanished instead of being charged as waste")
+			}
+			if cleanB, fastB := clean.Metrics().BytesShuffled.Load(), fast.Metrics().BytesShuffled.Load(); fastB != cleanB {
+				t.Errorf("BytesShuffled with speculation = %d, clean = %d: a duplicate attempt leaked into the exactly-once counter",
+					fastB, cleanB)
+			}
+			if fastWall >= slowWall {
+				t.Errorf("speculation run took %v, no-speculation straggler run took %v: backups bought nothing",
+					fastWall, slowWall)
+			}
+			var wins int
+			for _, ev := range fast.Recoveries() {
+				if ev.Kind == rdd.RecoverySpeculativeWin {
+					wins++
+				}
+			}
+			if wins == 0 {
+				t.Error("no speculative-win recovery events")
+			}
+			if sum := fast.Summary(); !strings.Contains(sum, rdd.RecoverySpeculativeWin) {
+				t.Errorf("Summary does not report speculative wins:\n%s", sum)
+			}
 		})
 	}
 }

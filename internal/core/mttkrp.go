@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"slices"
 
 	"distenc/internal/mat"
 	"distenc/internal/rdd"
@@ -191,6 +192,13 @@ func fusedBlockMTTKRP(blk *TensorBlock, loc []int32, factors []*mat.Dense, rank 
 // can tell the kernel from the reduction.
 func MTTKRPStage(c *rdd.Cluster, blocks *rdd.RDD[*TensorBlock], l *Layout, factors []*mat.Dense, opt DistOptions) ([]*mat.Dense, float64, error) {
 	rank := opt.Rank
+	// Snapshot the factor slice: under speculative execution a losing
+	// duplicate attempt can outlive this stage, and the solver overwrites
+	// its factors slice entries (advance/advanceNoResid) as soon as the
+	// stage returns. The matrices themselves are immutable once published —
+	// only the slice slots are rewritten — so a shallow clone pins what the
+	// zombie reads.
+	factors = slices.Clone(factors)
 	// Bytes of factor rows shipped to each block, plus the flat accumulator
 	// slabs the kernel fills — both live simultaneously on a real executor,
 	// and the slabs are the same size as the shipped rows.

@@ -18,6 +18,17 @@ import "sync"
 // therefore exactly-once regardless of where in the closure it is called.
 // The accadd vet pass flags plain Add calls in task closures that are
 // followed by fallible returns.
+//
+// # Speculative execution
+//
+// With Config.Speculation enabled the same caveats extend to duplicate
+// attempts: a backup attempt re-runs the closure while the original may still
+// be inside it, so a plain Add can be applied once per attempt (at-least-once,
+// like Spark). AddOnSuccess stays exactly-once — each attempt buffers its
+// adds on its own TaskCtx, only the attempt that wins the per-partition
+// commit race has its hooks fired, and the loser's buffered adds are
+// discarded with the rest of its work (the commit happens-before the stage
+// resolves, so the driver's Value read is ordered after the winner's merge).
 type Accumulator[T any] struct {
 	mu    sync.Mutex
 	value T

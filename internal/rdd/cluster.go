@@ -102,6 +102,13 @@ type Config struct {
 	// Fault, when set, injects the seeded chaos schedule (task failures,
 	// a machine kill, stragglers) described by the plan. Nil runs clean.
 	Fault *FaultPlan
+	// Speculation enables Spark-style speculative execution: runStage
+	// watches running tasks against the completed-task duration distribution
+	// and launches one backup attempt on a different healthy machine for a
+	// task running far beyond it; the first finisher wins the partition's
+	// commit and the loser's traffic lands in BytesWasted. Ignored under
+	// SerializeTasks, whose point is uncontended single-core task costs.
+	Speculation SpeculationConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -133,50 +140,67 @@ type Metrics struct {
 	DiskBytesRead  atomic.Int64
 	DiskBytesWrite atomic.Int64
 	// BytesWasted counts shuffle+disk traffic produced by failed task
-	// attempts — work that was paid for but discarded.
+	// attempts — work that was paid for but discarded. Under speculative
+	// execution it also absorbs the traffic of attempts that lost the
+	// commit race to a faster duplicate.
 	BytesWasted atomic.Int64
-	TasksRun    atomic.Int64
-	TaskRetries atomic.Int64
-	Stages      atomic.Int64
+	// BytesRecomputed counts shuffle traffic re-generated while rebuilding a
+	// dead machine's lost map outputs from lineage. It is kept out of
+	// BytesShuffled so the Lemma 3 totals of a run that survived a kill stay
+	// bit-equal to a failure-free run: the original bytes were already
+	// counted when the first map attempt committed.
+	BytesRecomputed atomic.Int64
+	TasksRun        atomic.Int64
+	TaskRetries     atomic.Int64
+	// SpeculativeTasks counts backup attempts launched by speculative
+	// execution (winners and losers alike).
+	SpeculativeTasks atomic.Int64
+	Stages           atomic.Int64
 }
 
 // Snapshot returns a plain-struct copy for reporting.
 func (m *Metrics) Snapshot() MetricsSnapshot {
 	return MetricsSnapshot{
-		BytesShuffled:  m.BytesShuffled.Load(),
-		BytesBroadcast: m.BytesBroadcast.Load(),
-		DiskBytesRead:  m.DiskBytesRead.Load(),
-		DiskBytesWrite: m.DiskBytesWrite.Load(),
-		BytesWasted:    m.BytesWasted.Load(),
-		TasksRun:       m.TasksRun.Load(),
-		TaskRetries:    m.TaskRetries.Load(),
-		Stages:         m.Stages.Load(),
+		BytesShuffled:    m.BytesShuffled.Load(),
+		BytesBroadcast:   m.BytesBroadcast.Load(),
+		DiskBytesRead:    m.DiskBytesRead.Load(),
+		DiskBytesWrite:   m.DiskBytesWrite.Load(),
+		BytesWasted:      m.BytesWasted.Load(),
+		BytesRecomputed:  m.BytesRecomputed.Load(),
+		TasksRun:         m.TasksRun.Load(),
+		TaskRetries:      m.TaskRetries.Load(),
+		SpeculativeTasks: m.SpeculativeTasks.Load(),
+		Stages:           m.Stages.Load(),
 	}
 }
 
 // MetricsSnapshot is a point-in-time copy of Metrics.
 type MetricsSnapshot struct {
-	BytesShuffled  int64
-	BytesBroadcast int64
-	DiskBytesRead  int64
-	DiskBytesWrite int64
-	BytesWasted    int64
-	TasksRun       int64
-	TaskRetries    int64
-	Stages         int64
+	BytesShuffled    int64
+	BytesBroadcast   int64
+	DiskBytesRead    int64
+	DiskBytesWrite   int64
+	BytesWasted      int64
+	BytesRecomputed  int64
+	TasksRun         int64
+	TaskRetries      int64
+	SpeculativeTasks int64
+	Stages           int64
 }
 
 // Sub returns m - o field-wise (for per-phase deltas).
 func (m MetricsSnapshot) Sub(o MetricsSnapshot) MetricsSnapshot {
 	return MetricsSnapshot{
-		BytesShuffled:  m.BytesShuffled - o.BytesShuffled,
-		BytesBroadcast: m.BytesBroadcast - o.BytesBroadcast,
-		DiskBytesRead:  m.DiskBytesRead - o.DiskBytesRead,
-		DiskBytesWrite: m.DiskBytesWrite - o.DiskBytesWrite,
-		BytesWasted:    m.BytesWasted - o.BytesWasted,
-		TasksRun:       m.TasksRun - o.TasksRun,
-		TaskRetries:    m.TaskRetries - o.TaskRetries,
-		Stages:         m.Stages - o.Stages,
+		BytesShuffled:    m.BytesShuffled - o.BytesShuffled,
+		BytesBroadcast:   m.BytesBroadcast - o.BytesBroadcast,
+		DiskBytesRead:    m.DiskBytesRead - o.DiskBytesRead,
+		DiskBytesWrite:   m.DiskBytesWrite - o.DiskBytesWrite,
+		BytesWasted:      m.BytesWasted - o.BytesWasted,
+		BytesRecomputed:  m.BytesRecomputed - o.BytesRecomputed,
+		TasksRun:         m.TasksRun - o.TasksRun,
+		TaskRetries:      m.TaskRetries - o.TaskRetries,
+		SpeculativeTasks: m.SpeculativeTasks - o.SpeculativeTasks,
+		Stages:           m.Stages - o.Stages,
 	}
 }
 
@@ -196,6 +220,9 @@ type Cluster struct {
 	metrics      Metrics
 	start        time.Time    // all trace timestamps are offsets from this
 	planFailures atomic.Int64 // fault-plan task failures injected so far
+	// attempts tracks every in-flight task attempt, including speculative
+	// losers that outlive their stage; Quiesce waits for it.
+	attempts sync.WaitGroup
 
 	mu        sync.Mutex
 	nextID    int64
@@ -235,9 +262,17 @@ type StageRecord struct {
 	// (ModeMapReduce shuffle spills, checkpoints).
 	BytesSpilled int64
 	// BytesWasted counts shuffle+disk bytes produced by this stage's failed
-	// task attempts and then discarded (exactly-once accounting keeps them
-	// out of BytesShuffled/BytesSpilled).
+	// task attempts — and, under speculation, by attempts that lost the
+	// commit race — then discarded (exactly-once accounting keeps them out
+	// of BytesShuffled/BytesSpilled).
 	BytesWasted int64
+	// BytesRecomputed counts shuffle bytes re-encoded by this stage's tasks
+	// while rebuilding lost map outputs from lineage (recovery traffic, not
+	// new shuffle volume — see Metrics.BytesRecomputed).
+	BytesRecomputed int64
+	// SpeculativeTasks counts backup attempts this stage launched for
+	// suspected stragglers.
+	SpeculativeTasks int
 	// MaxTask and MedianTask summarize the task run-time distribution;
 	// their ratio (Skew) is the straggler indicator.
 	MaxTask    time.Duration
@@ -273,6 +308,7 @@ type TaskRecord struct {
 	TransientPeak int64  // memory declared via ChargeTransient
 	BytesShuffled int64  // shuffle bytes this attempt produced
 	BytesSpilled  int64  // disk bytes this attempt read+wrote
+	Speculative   bool   // true for backup attempts launched by speculation
 	Error         string // "" on success; the attempt's error otherwise
 }
 
@@ -320,9 +356,18 @@ func MustNewCluster(cfg Config) *Cluster {
 	return c
 }
 
+// Quiesce blocks until every task attempt has finished running, including
+// speculative losers that outlived their stage (a stage resolves as soon as
+// each partition has a winner; the losing duplicates keep running and fold
+// their traffic into BytesWasted when they drain). Call it before comparing
+// metric totals; Close quiesces automatically.
+func (c *Cluster) Quiesce() { c.attempts.Wait() }
+
 // Close releases the cluster's on-disk shuffle space, including any
-// Checkpoint files still alive in a caller-owned DiskDir.
+// Checkpoint files still alive in a caller-owned DiskDir. It first waits for
+// any straggling speculative attempts so nothing races the teardown.
 func (c *Cluster) Close() error {
+	c.Quiesce()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -381,6 +426,20 @@ func (c *Cluster) newID() int64 {
 	defer c.mu.Unlock()
 	c.nextID++
 	return c.nextID
+}
+
+// writeFileAtomic writes data to path via a unique temp file and rename, so
+// two speculative attempts racing on the same deterministic block path never
+// interleave partial writes — the loser's rename just reinstalls identical
+// bytes.
+//
+//distenc:accounted -- callers attribute the spill via countSpillWrite at the call site
+func (c *Cluster) writeFileAtomic(path string, data []byte) error {
+	tmp := fmt.Sprintf("%s.tmp%d", path, c.newID())
+	if err := os.WriteFile(tmp, data, 0o600); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // charge reserves bytes on machine m, failing with ErrOutOfMemory if the
@@ -474,9 +533,15 @@ type TaskCtx struct {
 	c          *Cluster
 	charged    int64
 	shuffled   int64
+	recomputed int64
 	spillRead  int64
 	spillWrite int64
-	onSuccess  []func()
+	// recomputeDepth > 0 while the task is re-running lost lineage (see
+	// exchange.recompute): CountShuffled calls inside the window are routed
+	// to the recomputed buffer so recovery traffic never re-enters the
+	// Lemma 3 BytesShuffled totals.
+	recomputeDepth int
+	onSuccess      []func()
 }
 
 // ChargeTransient reserves task-scoped memory on the task's machine. It is
@@ -495,8 +560,18 @@ func (tc *TaskCtx) ChargeTransient(bytes int64) error {
 // does not serialize itself (e.g. factor rows shipped to a block) reports it
 // here.
 func (tc *TaskCtx) CountShuffled(bytes int64) {
+	if tc.recomputeDepth > 0 {
+		tc.recomputed += bytes
+		return
+	}
 	tc.shuffled += bytes
 }
+
+// beginRecompute / endRecompute bracket a lineage-recompute window (nesting
+// allowed: recomputing one shuffle's map output can fault in an upstream
+// shuffle's). TaskCtx is goroutine-local, so a plain counter suffices.
+func (tc *TaskCtx) beginRecompute() { tc.recomputeDepth++ }
+func (tc *TaskCtx) endRecompute()   { tc.recomputeDepth-- }
 
 // countSpillWrite / countSpillRead attribute disk traffic to the task.
 func (tc *TaskCtx) countSpillWrite(bytes int64) {
@@ -524,6 +599,9 @@ func (tc *TaskCtx) commit() {
 	m := &tc.c.metrics
 	if tc.shuffled > 0 {
 		m.BytesShuffled.Add(tc.shuffled)
+	}
+	if tc.recomputed > 0 {
+		m.BytesRecomputed.Add(tc.recomputed)
 	}
 	if tc.spillRead > 0 {
 		m.DiskBytesRead.Add(tc.spillRead)
@@ -555,195 +633,436 @@ func (c *Cluster) maxRetries() int {
 	}
 }
 
+// stageState carries one executing stage's shared scheduler state: the
+// rollups folded into its StageRecord, the resolution WaitGroup (one Done per
+// partition, fired by the commit-race winner or a fatal failure), and — once
+// the stage closed its record — the log index late-finishing speculative
+// losers fold their waste into.
+type stageState struct {
+	c     *Cluster
+	name  string
+	tag   string
+	parts int
+	start time.Time
+	wg    sync.WaitGroup // counts unresolved partitions
+	done  chan struct{}  // closed after wg.Wait; stops the speculation monitor
+
+	errMu    sync.Mutex
+	firstErr error
+
+	mu            sync.Mutex
+	closed        bool // StageRecord appended; late attempts go via logIdx
+	logIdx        int
+	busy          []time.Duration
+	durs          []time.Duration
+	winDurs       []time.Duration // committed-attempt durations (speculation baseline)
+	shuffled      int64
+	spilled       int64
+	recomputed    int64
+	wasted        int64
+	transientPeak int64
+	retries       int
+	specLaunches  int
+	taskRecs      []TaskRecord
+	recEvents     []RecoveryEvent
+}
+
+func (st *stageState) setErr(err error) {
+	st.errMu.Lock()
+	if st.firstErr == nil {
+		st.firstErr = err
+	}
+	st.errMu.Unlock()
+}
+
+func (st *stageState) err() error {
+	st.errMu.Lock()
+	defer st.errMu.Unlock()
+	return st.firstErr
+}
+
+func (st *stageState) aborted() bool { return st.err() != nil }
+
+// resolve marks the partition settled (winner committed, or its primary chain
+// failed fatally) and releases the stage's wait on it. Idempotent: winner,
+// late-failing primary and abort paths may all reach it.
+func (st *stageState) resolve(ps *partState) {
+	ps.mu.Lock()
+	first := !ps.resolved
+	ps.resolved = true
+	ps.mu.Unlock()
+	if first {
+		st.wg.Done()
+	}
+}
+
+func (st *stageState) fail(ps *partState, err error) {
+	st.setErr(err)
+	st.resolve(ps)
+}
+
+// partState is the per-partition commit race: exactly one attempt flips
+// committed and gets to run its TaskCtx.commit. The body fields let the
+// speculation monitor see how long the primary attempt has been running and
+// where, without touching the attempt goroutine.
+type partState struct {
+	mu           sync.Mutex
+	committed    bool
+	resolved     bool
+	specLaunched bool
+	bodyRunning  bool
+	bodyStart    time.Time
+	bodyMachine  int
+}
+
+func (ps *partState) isCommitted() bool {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.committed
+}
+
+func (ps *partState) bodyStarted(m int, at time.Time) {
+	ps.mu.Lock()
+	ps.bodyRunning = true
+	ps.bodyStart = at
+	ps.bodyMachine = m
+	ps.mu.Unlock()
+}
+
+func (ps *partState) bodyEnded() {
+	ps.mu.Lock()
+	ps.bodyRunning = false
+	ps.mu.Unlock()
+}
+
 // runStage executes parts tasks across the machines (partition p prefers
 // machine p mod M, like Spark preferred locations) and waits for all of them.
 // Tasks failing with errRetryable — injected faults, or attempts whose
 // machine was killed while they ran — are re-placed on another healthy
 // machine (capped exponential backoff, never the machine that just failed
 // when an alternative exists) and recomputed from lineage, up to the
-// configured retry budget; other errors abort the stage. An attempt's byte
-// counters and deferred OnSuccess hooks are committed only if it succeeds;
-// failed-attempt traffic is reattributed to BytesWasted.
+// configured retry budget; other errors abort the stage. With speculation
+// enabled a monitor goroutine additionally launches one backup attempt per
+// suspected straggler; the first finisher wins the partition.
+//
+// Exactly-once contract: each partition has a single commit flag, so exactly
+// one attempt's byte counters and deferred OnSuccess hooks are committed;
+// every other attempt's traffic — failed, or a healthy duplicate that lost
+// the race — is reattributed to BytesWasted and its hooks are dropped.
 func (c *Cluster) runStage(name string, parts int, task func(tc *TaskCtx, p int) error) error {
 	stageIdx := c.metrics.Stages.Add(1) - 1
 	c.maybePlanKill(stageIdx)
 	c.simMu.Lock()
 	tag := c.stageTag
 	c.simMu.Unlock()
-	stageStart := time.Now()
-	busy := make([]time.Duration, c.cfg.Machines)
-	// Stage-local rollups, all guarded by busyMu and folded into the
-	// StageRecord once the stage completes.
-	durs := make([]time.Duration, 0, parts)
-	var shuffled, spilled, wasted, transientPeak int64
-	var retries int
-	var taskRecs []TaskRecord
-	var recEvents []RecoveryEvent
-	var busyMu sync.Mutex
-	var wg sync.WaitGroup
-	var firstErr error
-	var errMu sync.Mutex
-	setErr := func(err error) {
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		errMu.Unlock()
+
+	st := &stageState{
+		c:     c,
+		name:  name,
+		tag:   tag,
+		parts: parts,
+		start: time.Now(),
+		busy:  make([]time.Duration, c.cfg.Machines),
+		durs:  make([]time.Duration, 0, parts),
 	}
-	abort := func() bool {
-		errMu.Lock()
-		defer errMu.Unlock()
-		return firstErr != nil
+	states := make([]*partState, parts)
+	for p := range states {
+		states[p] = &partState{}
+	}
+	st.wg.Add(parts)
+
+	if c.speculating() && parts > 1 {
+		st.done = make(chan struct{})
+		go c.speculationMonitor(st, states, task)
 	}
 
 	for p := 0; p < parts; p++ {
-		wg.Add(1)
+		c.attempts.Add(1)
 		go func(p int) {
-			defer wg.Done()
-			lastFailed := -1
-			for attempt := 0; ; attempt++ {
-				if abort() {
-					return
-				}
-				m, perr := c.placeTask(p, attempt, lastFailed)
-				if perr != nil {
-					setErr(perr)
-					return
-				}
-				mm := c.machines[m]
-				enqueued := time.Now()
-				c.backoff(attempt)
-				mm.sem <- struct{}{}
-				if c.cfg.SerializeTasks {
-					c.serialMu.Lock()
-				}
-				tc := &TaskCtx{Machine: m, c: c}
-				taskStart := time.Now()
-				var err error
-				switch {
-				case c.shouldFail(name):
-					err = fmt.Errorf("rdd: injected failure in stage %q task %d on machine %d: %w", name, p, m, errRetryable)
-				case c.planShouldFail(name, p, attempt):
-					err = fmt.Errorf("rdd: fault-plan failure in stage %q task %d on machine %d: %w", name, p, m, errRetryable)
-				default:
-					c.planStraggle(name, p, attempt)
-					err = task(tc, p)
-					if err == nil && c.machineDead(m) {
-						// The machine died under the running task: its result
-						// is gone with the machine, so discard and retry.
-						err = fmt.Errorf("rdd: machine %d died while running stage %q task %d: %w", m, name, p, errRetryable)
-					}
-				}
-				dur := time.Since(taskStart)
-				if c.cfg.SerializeTasks {
-					c.serialMu.Unlock()
-				}
-				retryable := err != nil && errors.Is(err, errRetryable) && attempt < c.maxRetries()
-				taskSpill := tc.spilled()
-				if err == nil {
-					tc.commit()
-				} else if tc.shuffled+taskSpill > 0 {
-					c.metrics.BytesWasted.Add(tc.shuffled + taskSpill)
-				}
-				busyMu.Lock()
-				busy[m] += dur
-				durs = append(durs, dur)
-				if err == nil {
-					shuffled += tc.shuffled
-					spilled += taskSpill
-				} else {
-					wasted += tc.shuffled + taskSpill
-				}
-				if tc.charged > transientPeak {
-					transientPeak = tc.charged
-				}
-				if retryable {
-					retries++
-					recEvents = append(recEvents, RecoveryEvent{
-						Kind:      RecoveryTaskRetry,
-						Stage:     name,
-						Partition: p,
-						Machine:   m,
-						Attempt:   attempt,
-						Cause:     err.Error(),
-						Cost:      dur,
-						At:        taskStart.Sub(c.start),
-					})
-				}
-				if c.cfg.TaskTrace {
-					rec := TaskRecord{
-						Stage:         name,
-						Tag:           tag,
-						Partition:     p,
-						Attempt:       attempt,
-						Machine:       m,
-						Start:         taskStart.Sub(c.start),
-						Queue:         taskStart.Sub(enqueued),
-						Run:           dur,
-						TransientPeak: tc.charged,
-						BytesShuffled: tc.shuffled,
-						BytesSpilled:  taskSpill,
-					}
-					if err != nil {
-						rec.Error = err.Error()
-					}
-					taskRecs = append(taskRecs, rec)
-				}
-				busyMu.Unlock()
-				if tc.charged > 0 {
-					c.release(m, tc.charged)
-				}
-				<-mm.sem
-				c.metrics.TasksRun.Add(1)
-				if err == nil {
-					return
-				}
-				if retryable {
-					c.metrics.TaskRetries.Add(1)
-					lastFailed = m
-					continue
-				}
-				setErr(err)
-				return
-			}
+			defer c.attempts.Done()
+			c.runPrimary(st, states[p], task, p)
 		}(p)
 	}
-	wg.Wait()
+	st.wg.Wait()
+	if st.done != nil {
+		close(st.done)
+	}
+
+	st.mu.Lock()
 	// Critical-path accounting: the stage is as slow as its busiest machine.
 	var critical time.Duration
-	for _, b := range busy {
+	for _, b := range st.busy {
 		perCore := b / time.Duration(c.cfg.CoresPerMachine)
 		if perCore > critical {
 			critical = perCore
 		}
 	}
 	var maxTask, medianTask time.Duration
-	if len(durs) > 0 {
-		slices.Sort(durs) // durs is dead after the rollup; sort in place
-		maxTask = durs[len(durs)-1]
-		medianTask = durs[len(durs)/2]
+	if len(st.durs) > 0 {
+		slices.Sort(st.durs) // durs is dead after the rollup; sort in place
+		maxTask = st.durs[len(st.durs)-1]
+		medianTask = st.durs[len(st.durs)/2]
 	}
+	rec := StageRecord{
+		Name:             name,
+		Tag:              tag,
+		Tasks:            parts,
+		Start:            st.start.Sub(c.start),
+		Wall:             time.Since(st.start),
+		Critical:         critical,
+		Retries:          st.retries,
+		BytesShuffled:    st.shuffled,
+		BytesSpilled:     st.spilled,
+		BytesWasted:      st.wasted,
+		BytesRecomputed:  st.recomputed,
+		SpeculativeTasks: st.specLaunches,
+		MaxTask:          maxTask,
+		MedianTask:       medianTask,
+		TransientPeak:    st.transientPeak,
+	}
+	taskRecs, recEvents := st.taskRecs, st.recEvents
+	st.taskRecs, st.recEvents = nil, nil
 	c.simMu.Lock()
 	c.simTime += critical
-	c.stageLog = append(c.stageLog, StageRecord{
-		Name:          name,
-		Tag:           tag,
-		Tasks:         parts,
-		Start:         stageStart.Sub(c.start),
-		Wall:          time.Since(stageStart),
-		Critical:      critical,
-		Retries:       retries,
-		BytesShuffled: shuffled,
-		BytesSpilled:  spilled,
-		BytesWasted:   wasted,
-		MaxTask:       maxTask,
-		MedianTask:    medianTask,
-		TransientPeak: transientPeak,
-	})
+	st.logIdx = len(c.stageLog)
+	c.stageLog = append(c.stageLog, rec)
 	c.taskLog = append(c.taskLog, taskRecs...)
 	c.recoveries = append(c.recoveries, recEvents...)
 	c.simMu.Unlock()
-	return firstErr
+	st.closed = true
+	st.mu.Unlock()
+	return st.err()
+}
+
+// runPrimary drives a partition's primary attempt chain: place, run, retry on
+// retryable failure, resolve the partition on success or fatal error. If a
+// speculative backup commits the partition first, the chain stands down.
+func (c *Cluster) runPrimary(st *stageState, ps *partState, task func(tc *TaskCtx, p int) error, p int) {
+	lastFailed := -1
+	for attempt := 0; ; attempt++ {
+		if st.aborted() || ps.isCommitted() {
+			st.resolve(ps)
+			return
+		}
+		m, perr := c.placeTask(p, attempt, lastFailed)
+		if perr != nil {
+			st.fail(ps, perr)
+			return
+		}
+		err, willRetry := c.runAttempt(st, ps, task, p, attempt, m, false)
+		if err == nil {
+			return // the attempt resolved the partition (won, or lost silently)
+		}
+		if willRetry {
+			c.metrics.TaskRetries.Add(1)
+			lastFailed = m
+			continue
+		}
+		if ps.isCommitted() {
+			// A backup won while this chain was failing out; the partition is
+			// already settled, so the failure is not fatal.
+			st.resolve(ps)
+			return
+		}
+		st.fail(ps, err)
+		return
+	}
+}
+
+// speculativeAttempt is the Attempt number recorded for backup attempts. It
+// is far above any retry budget, so the deterministic fault plan (which only
+// fails or straggles attempt 0) never injects faults into backups.
+const speculativeAttempt = 1000
+
+// errObsolete marks an attempt skipped without running because the
+// partition's race was already decided when it reached a core.
+var errObsolete = errors.New("rdd: attempt obsolete; partition already committed")
+
+// runAttempt executes one task attempt — primary or speculative backup — on
+// machine m: runs the body, enters the commit race on success, folds the
+// attempt's byte counters into the committed or wasted rollups accordingly,
+// and resolves the partition if it settled it. Returns the attempt's error
+// and whether the primary chain should retry it.
+func (c *Cluster) runAttempt(st *stageState, ps *partState, task func(tc *TaskCtx, p int) error, p, attempt, m int, speculative bool) (error, bool) {
+	mm := c.machines[m]
+	enqueued := time.Now()
+	if !speculative {
+		c.backoff(attempt)
+	}
+	mm.sem <- struct{}{}
+	if ps.isCommitted() {
+		// The race was decided while this attempt waited for a core: don't
+		// burn the core on a doomed body.
+		<-mm.sem
+		if !speculative {
+			st.resolve(ps)
+		}
+		return errObsolete, false
+	}
+	if c.cfg.SerializeTasks {
+		c.serialMu.Lock()
+	}
+	tc := &TaskCtx{Machine: m, c: c}
+	taskStart := time.Now()
+	if !speculative {
+		ps.bodyStarted(m, taskStart)
+	}
+	var err error
+	switch {
+	case c.shouldFail(st.name):
+		err = fmt.Errorf("rdd: injected failure in stage %q task %d on machine %d: %w", st.name, p, m, errRetryable)
+	case c.planShouldFail(st.name, p, attempt):
+		err = fmt.Errorf("rdd: fault-plan failure in stage %q task %d on machine %d: %w", st.name, p, m, errRetryable)
+	default:
+		c.planStraggle(st.name, p, attempt)
+		err = task(tc, p)
+		if err == nil && c.machineDead(m) {
+			// The machine died under the running task: its result
+			// is gone with the machine, so discard and retry.
+			err = fmt.Errorf("rdd: machine %d died while running stage %q task %d: %w", m, st.name, p, errRetryable)
+		}
+	}
+	dur := time.Since(taskStart)
+	if !speculative {
+		ps.bodyEnded()
+	}
+	if c.cfg.SerializeTasks {
+		c.serialMu.Unlock()
+	}
+
+	// The commit race: exactly one successful attempt per partition wins.
+	won := false
+	if err == nil {
+		ps.mu.Lock()
+		if !ps.committed {
+			ps.committed = true
+			won = true
+		}
+		ps.mu.Unlock()
+	}
+	raceDecided := won || ps.isCommitted()
+	willRetry := err != nil && errors.Is(err, errRetryable) &&
+		!speculative && attempt < c.maxRetries() && !raceDecided
+	if won {
+		// Hooks must fire before the partition resolves: the driver reads
+		// hook-installed results as soon as the stage returns.
+		tc.commit()
+	}
+	st.recordAttempt(tc, m, p, attempt, dur, taskStart, enqueued, err, won, willRetry, speculative)
+	if won {
+		st.resolve(ps)
+	}
+	if tc.charged > 0 {
+		c.release(m, tc.charged)
+	}
+	<-mm.sem
+	c.metrics.TasksRun.Add(1)
+	if err == nil && !won {
+		// A healthy duplicate that lost: the winner already resolved the
+		// partition; this attempt's work was wasted but nothing failed.
+		st.resolve(ps)
+	}
+	return err, willRetry
+}
+
+// recordAttempt folds one finished attempt into the stage rollups (and the
+// cluster waste counter for losers). If the stage already closed its record —
+// a speculative race left this attempt running past stage resolution — the
+// waste is folded into the published StageRecord instead, so per-stage
+// rollups keep summing to the cluster totals. Speculative wins and losses are
+// logged as recovery events here, where the race outcome is known.
+func (st *stageState) recordAttempt(tc *TaskCtx, m, p, attempt int, dur time.Duration, taskStart, enqueued time.Time, err error, won, willRetry, speculative bool) {
+	c := st.c
+	waste := int64(0)
+	if !won {
+		waste = tc.shuffled + tc.recomputed + tc.spilled()
+		if waste > 0 {
+			c.metrics.BytesWasted.Add(waste)
+		}
+	}
+	var rec *TaskRecord
+	if c.cfg.TaskTrace {
+		rec = &TaskRecord{
+			Stage:         st.name,
+			Tag:           st.tag,
+			Partition:     p,
+			Attempt:       attempt,
+			Machine:       m,
+			Start:         taskStart.Sub(c.start),
+			Queue:         taskStart.Sub(enqueued),
+			Run:           dur,
+			TransientPeak: tc.charged,
+			BytesShuffled: tc.shuffled + tc.recomputed,
+			BytesSpilled:  tc.spilled(),
+			Speculative:   speculative,
+		}
+		if err != nil {
+			rec.Error = err.Error()
+		}
+	}
+	var ev *RecoveryEvent
+	switch {
+	case willRetry:
+		ev = &RecoveryEvent{Kind: RecoveryTaskRetry, Cause: err.Error()}
+	case speculative && won:
+		ev = &RecoveryEvent{
+			Kind:  RecoverySpeculativeWin,
+			Cause: "backup attempt finished first; primary attempt's work discarded",
+		}
+	case err == nil && !won,
+		speculative && err != nil:
+		cause := "duplicate attempt lost the commit race"
+		if err != nil {
+			cause = err.Error()
+		}
+		ev = &RecoveryEvent{Kind: RecoverySpeculativeLoss, Cause: cause}
+	}
+	if ev != nil {
+		ev.Stage, ev.Partition, ev.Machine, ev.Attempt = st.name, p, m, attempt
+		ev.Cost = dur
+		ev.At = taskStart.Sub(c.start)
+	}
+
+	st.mu.Lock()
+	if !st.closed {
+		st.busy[m] += dur
+		st.durs = append(st.durs, dur)
+		if won {
+			st.winDurs = append(st.winDurs, dur)
+			st.shuffled += tc.shuffled
+			st.recomputed += tc.recomputed
+			st.spilled += tc.spilled()
+		} else {
+			st.wasted += waste
+		}
+		if tc.charged > st.transientPeak {
+			st.transientPeak = tc.charged
+		}
+		if willRetry {
+			st.retries++
+		}
+		if rec != nil {
+			st.taskRecs = append(st.taskRecs, *rec)
+		}
+		if ev != nil {
+			st.recEvents = append(st.recEvents, *ev)
+		}
+		st.mu.Unlock()
+		return
+	}
+	idx := st.logIdx
+	st.mu.Unlock()
+	c.simMu.Lock()
+	if waste > 0 {
+		c.stageLog[idx].BytesWasted += waste
+	}
+	if rec != nil {
+		c.taskLog = append(c.taskLog, *rec)
+	}
+	if ev != nil {
+		c.recoveries = append(c.recoveries, *ev)
+	}
+	c.simMu.Unlock()
 }
 
 // StageLog returns a copy of the per-stage execution records, in order.

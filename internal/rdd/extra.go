@@ -97,12 +97,15 @@ func Checkpoint[T any](r *RDD[T], name string) (*RDD[T], error) {
 			return fmt.Errorf("rdd: encoding checkpoint: %w", err)
 		}
 		path := filepath.Join(dir, fmt.Sprintf("ckpt%d-p%d.blk", id, p))
-		if err := os.WriteFile(path, data, 0o600); err != nil {
+		// Atomic write + commit-time install: speculative duplicate attempts
+		// may both write this deterministic path, and only the race winner
+		// publishes it to the driver-side paths slice.
+		if err := r.c.writeFileAtomic(path, data); err != nil {
 			return fmt.Errorf("rdd: writing checkpoint: %w", err)
 		}
 		tc.countSpillWrite(int64(len(data)))
 		r.c.diskDelay(len(data))
-		paths[p] = path
+		tc.OnSuccess(func() { paths[p] = path })
 		return nil
 	})
 	if err != nil {

@@ -28,8 +28,13 @@ type FaultPlan struct {
 	// (reduced modulo the machine count).
 	KillMachine int
 	// KillAtStage is the 0-based global stage index at whose start the kill
-	// fires; <= 0 disables the kill (stage 0 can never be preceded by one).
+	// fires. The kill is armed when KillSet is true or, for hand-built plans
+	// that leave KillSet unset, when KillAtStage > 0.
 	KillAtStage int
+	// KillSet arms the machine kill explicitly, distinguishing "kill at
+	// stage 0" from the zero value's "no kill". ParseFaultPlan sets it for
+	// every kill=M@S field, including S=0.
+	KillSet bool
 	// StragglerProb delays a matching task attempt by StragglerDelay,
 	// modeling slow executors.
 	StragglerProb  float64
@@ -69,6 +74,7 @@ func ParseFaultPlan(spec string) (*FaultPlan, error) {
 			}
 			if f.KillMachine, err = strconv.Atoi(m); err == nil {
 				f.KillAtStage, err = strconv.Atoi(s)
+				f.KillSet = err == nil
 			}
 		case "stragglerprob":
 			f.StragglerProb, err = strconv.ParseFloat(val, 64)
@@ -128,9 +134,11 @@ func (c *Cluster) planShouldFail(stage string, part, attempt int) bool {
 
 // planStraggle sleeps inside the timed task body when the plan marks this
 // attempt a straggler, so the delay shows up in task durations and skew.
+// Speculative backups are exempt: they model re-placement on a fast
+// executor, the mitigation the stragglers exist to exercise.
 func (c *Cluster) planStraggle(stage string, part, attempt int) {
 	f := c.cfg.Fault
-	if f == nil || f.StragglerProb <= 0 || f.StragglerDelay <= 0 {
+	if f == nil || f.StragglerProb <= 0 || f.StragglerDelay <= 0 || attempt >= speculativeAttempt {
 		return
 	}
 	if faultHash(f.Seed, stage, part, attempt, saltStraggle) < f.StragglerProb {
@@ -138,10 +146,15 @@ func (c *Cluster) planStraggle(stage string, part, attempt int) {
 	}
 }
 
+// killArmed reports whether the plan schedules a machine kill at all:
+// explicitly via KillSet, or implicitly by a positive KillAtStage for plans
+// built as struct literals without the sentinel.
+func (f *FaultPlan) killArmed() bool { return f.KillSet || f.KillAtStage > 0 }
+
 // maybePlanKill fires the plan's machine kill when stage stageIdx begins.
 func (c *Cluster) maybePlanKill(stageIdx int64) {
 	f := c.cfg.Fault
-	if f == nil || f.KillAtStage <= 0 || stageIdx != int64(f.KillAtStage) {
+	if f == nil || !f.killArmed() || stageIdx != int64(f.KillAtStage) {
 		return
 	}
 	m := f.KillMachine % c.cfg.Machines
@@ -159,6 +172,11 @@ const (
 	RecoveryShuffleEvict     = "shuffle-evict"
 	RecoveryBroadcastEvict   = "broadcast-evict"
 	RecoveryShuffleRecompute = "shuffle-recompute"
+	// Speculative-execution outcomes: a backup attempt launched against a
+	// suspected straggler, and each side's result of the commit race.
+	RecoverySpeculativeLaunch = "speculative-launch"
+	RecoverySpeculativeWin    = "speculative-win"
+	RecoverySpeculativeLoss   = "speculative-loss"
 )
 
 // RecoveryEvent records one fault-tolerance action: a machine kill, a task

@@ -439,7 +439,7 @@ func TestParseFaultPlan(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := FaultPlan{Seed: 7, TaskFailureProb: 0.02, MaxTaskFailures: 10,
-		KillMachine: 1, KillAtStage: 5, StragglerProb: 0.05, StragglerDelay: 5 * time.Millisecond}
+		KillMachine: 1, KillAtStage: 5, KillSet: true, StragglerProb: 0.05, StragglerDelay: 5 * time.Millisecond}
 	if *f != want {
 		t.Fatalf("parsed %+v, want %+v", *f, want)
 	}

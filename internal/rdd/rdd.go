@@ -313,7 +313,10 @@ func (r *RDD[T]) Collect() ([]T, error) {
 		if err != nil {
 			return err
 		}
-		results[p] = items
+		// Install on commit only: under speculative execution two attempts
+		// of the same partition can run concurrently, and only the race
+		// winner may publish its result to the driver.
+		tc.OnSuccess(func() { results[p] = items })
 		return nil
 	})
 	if err != nil {
@@ -337,7 +340,8 @@ func (r *RDD[T]) Count() (int64, error) {
 		if err != nil {
 			return err
 		}
-		counts[p] = int64(len(items))
+		n := int64(len(items))
+		tc.OnSuccess(func() { counts[p] = n }) // winner-only install (speculation)
 		return nil
 	})
 	if err != nil {
@@ -369,8 +373,10 @@ func Reduce[T any](r *RDD[T], f func(T, T) T) (result T, ok bool, err error) {
 		for _, v := range items[1:] {
 			acc = f(acc, v)
 		}
-		partials[p] = acc
-		got[p] = true
+		tc.OnSuccess(func() { // winner-only install (speculation)
+			partials[p] = acc
+			got[p] = true
+		})
 		return nil
 	})
 	if err != nil {
@@ -391,7 +397,10 @@ func Reduce[T any](r *RDD[T], f func(T, T) T) (result T, ok bool, err error) {
 
 // ForeachPartition runs f over every partition inside tasks (an action with
 // side effects owned by the caller; f must be safe for concurrent calls on
-// distinct partitions).
+// distinct partitions — and, with Config.Speculation enabled, for concurrent
+// duplicate calls on the SAME partition, since a backup attempt re-runs f
+// while the original may still be inside it. Effects that must apply exactly
+// once belong in tc.OnSuccess, which fires only for the winning attempt).
 func (r *RDD[T]) ForeachPartition(f func(tc *TaskCtx, p int, items []T) error) error {
 	if err := r.ensureDeps(); err != nil {
 		return err

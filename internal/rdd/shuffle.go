@@ -27,13 +27,18 @@ type exchange[R any] struct {
 	once sync.Once
 	err  error
 
-	// mu guards the map-output state below: stage tasks publish into it,
-	// KillMachine evicts from it, and fetch recomputes lost entries under it.
+	// mu guards the map-output state below: stage tasks publish into it and
+	// KillMachine evicts from it. Lost entries are recomputed OUTSIDE the
+	// lock (the recompute can run a whole lineage) with inflight as the
+	// per-map-partition single-flight guard: concurrent fetchers of the same
+	// lost output wait on its channel instead of convoying on mu or
+	// recomputing the partition once per waiter.
 	mu       sync.Mutex
-	blocks   [][][]byte // [mapPart][reducePart] (nil entries in disk mode)
-	files    [][]string // paths in disk mode
-	machines []int      // machine whose memory holds map part p's output (-1: none)
-	lost     []bool     // map outputs evicted by a machine kill, pending recompute
+	blocks   [][][]byte            // [mapPart][reducePart] (nil entries in disk mode)
+	files    [][]string            // paths in disk mode
+	machines []int                 // machine whose memory holds map part p's output (-1: none)
+	lost     []bool                // map outputs evicted by a machine kill, pending recompute
+	inflight map[int]chan struct{} // map partitions being recomputed right now
 }
 
 func newExchange[R any](c *Cluster, name string, parentDeps []dep, mapParts, reduceParts int,
@@ -135,7 +140,7 @@ func (e *exchange[R]) ensure() error {
 						continue
 					}
 					path := filepath.Join(e.c.tmpDir, fmt.Sprintf("ex%d-m%d-r%d.blk", e.id, p, rp))
-					if err := os.WriteFile(path, data, 0o600); err != nil {
+					if err := e.c.writeFileAtomic(path, data); err != nil {
 						return fmt.Errorf("rdd: spilling shuffle block: %w", err)
 					}
 					tc.countSpillWrite(int64(len(data)))
@@ -144,12 +149,18 @@ func (e *exchange[R]) ensure() error {
 					enc[rp] = nil // spilled: no in-memory copy to lose
 				}
 			}
-			e.mu.Lock()
-			e.blocks[p] = enc
-			e.files[p] = paths
-			e.machines[p] = tc.Machine
-			e.lost[p] = false
-			e.mu.Unlock()
+			// Publish on commit only: under speculative execution two
+			// attempts of the same map task can finish, and the map-output
+			// registry (in particular machines[p], which drives kill-time
+			// eviction) must reflect the attempt that won the race.
+			tc.OnSuccess(func() {
+				e.mu.Lock()
+				e.blocks[p] = enc
+				e.files[p] = paths
+				e.machines[p] = tc.Machine
+				e.lost[p] = false
+				e.mu.Unlock()
+			})
 			return nil
 		})
 	})
@@ -160,13 +171,59 @@ func (e *exchange[R]) ensure() error {
 // ModeInMemory, recomputing the whole map partition from lineage first if a
 // machine kill evicted it — Spark's FetchFailed → parent-stage re-execution,
 // collapsed into the fetching task (which pays and records the recompute).
+// Exactly one fetcher recomputes a given lost output; concurrent fetchers
+// wait for it and re-check, and e.mu is never held across the recompute.
 func (e *exchange[R]) blockFor(tc *TaskCtx, mp, rp int) ([]byte, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if !e.lost[mp] {
-		return e.blocks[mp][rp], nil
+	for {
+		e.mu.Lock()
+		if !e.lost[mp] {
+			data := e.blocks[mp][rp]
+			e.mu.Unlock()
+			return data, nil
+		}
+		if ch, ok := e.inflight[mp]; ok {
+			e.mu.Unlock()
+			<-ch
+			// The recompute finished (or failed, leaving lost[mp] set for
+			// the next fetcher to retry); loop to re-read the state.
+			continue
+		}
+		if e.inflight == nil {
+			e.inflight = map[int]chan struct{}{}
+		}
+		ch := make(chan struct{})
+		e.inflight[mp] = ch
+		e.mu.Unlock()
+
+		enc, err := e.recompute(tc, mp)
+
+		e.mu.Lock()
+		delete(e.inflight, mp)
+		if err == nil {
+			e.blocks[mp] = enc
+			e.machines[mp] = tc.Machine
+			e.lost[mp] = false
+		}
+		e.mu.Unlock()
+		close(ch)
+		if err != nil {
+			return nil, err
+		}
+		return enc[rp], nil
 	}
+}
+
+// recompute re-runs map task mp's lineage to regenerate its serialized
+// buckets. The whole window runs with the TaskCtx recompute flag set, so
+// every CountShuffled inside it — encodeShuffleBuckets and any traffic the
+// lineage's own closures declare — lands in BytesRecomputed rather than
+// BytesShuffled: the original bytes were already counted when the first map
+// attempt committed, and double-counting them would make a killed run's
+// Lemma 3 totals overstate a clean run's.
+func (e *exchange[R]) recompute(tc *TaskCtx, mp int) ([][]byte, error) {
 	start := time.Now()
+	tc.beginRecompute()
+	defer tc.endRecompute()
 	bs, err := e.buckets(tc, mp)
 	if err != nil {
 		return nil, fmt.Errorf("rdd: recomputing lost map output %d of shuffle %s: %w", mp, e.name, err)
@@ -178,9 +235,6 @@ func (e *exchange[R]) blockFor(tc *TaskCtx, mp, rp int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.blocks[mp] = enc
-	e.machines[mp] = tc.Machine
-	e.lost[mp] = false
 	e.c.recordRecovery(RecoveryEvent{
 		Kind:      RecoveryShuffleRecompute,
 		Stage:     e.name,
@@ -189,7 +243,7 @@ func (e *exchange[R]) blockFor(tc *TaskCtx, mp, rp int) ([]byte, error) {
 		Cause:     "lost map output recomputed from lineage",
 		Cost:      time.Since(start),
 	})
-	return enc[rp], nil
+	return enc, nil
 }
 
 // fetch returns the decoded records destined for reduce partition rp,

@@ -16,26 +16,30 @@ import (
 func (c *Cluster) Summary() string {
 	stages := c.StageLog()
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-34s %-10s %5s %10s %10s %5s %12s %12s %10s %6s\n",
-		"stage", "tag", "tasks", "wall", "critical", "retry", "shuffledB", "spilledB", "wastedB", "skew")
+	fmt.Fprintf(&b, "%-34s %-10s %5s %10s %10s %5s %4s %12s %12s %10s %10s %6s\n",
+		"stage", "tag", "tasks", "wall", "critical", "retry", "spec", "shuffledB", "spilledB", "wastedB", "recompB", "skew")
 	var totalWall, totalCritical time.Duration
-	var totalShuffled, totalSpilled, totalWasted int64
-	totalTasks, totalRetries := 0, 0
+	var totalShuffled, totalSpilled, totalWasted, totalRecomp int64
+	totalTasks, totalRetries, totalSpec := 0, 0, 0
 	for _, s := range stages {
-		fmt.Fprintf(&b, "%-34s %-10s %5d %10s %10s %5d %12d %12d %10d %6.2f\n",
+		fmt.Fprintf(&b, "%-34s %-10s %5d %10s %10s %5d %4d %12d %12d %10d %10d %6.2f\n",
 			s.Name, s.Tag, s.Tasks, fmtDur(s.Wall), fmtDur(s.Critical),
-			s.Retries, s.BytesShuffled, s.BytesSpilled, s.BytesWasted, s.Skew())
+			s.Retries, s.SpeculativeTasks, s.BytesShuffled, s.BytesSpilled,
+			s.BytesWasted, s.BytesRecomputed, s.Skew())
 		totalWall += s.Wall
 		totalCritical += s.Critical
 		totalShuffled += s.BytesShuffled
 		totalSpilled += s.BytesSpilled
 		totalWasted += s.BytesWasted
+		totalRecomp += s.BytesRecomputed
 		totalTasks += s.Tasks
 		totalRetries += s.Retries
+		totalSpec += s.SpeculativeTasks
 	}
-	fmt.Fprintf(&b, "%-34s %-10s %5d %10s %10s %5d %12d %12d %10d\n",
+	fmt.Fprintf(&b, "%-34s %-10s %5d %10s %10s %5d %4d %12d %12d %10d %10d\n",
 		fmt.Sprintf("TOTAL (%d stages)", len(stages)), "", totalTasks,
-		fmtDur(totalWall), fmtDur(totalCritical), totalRetries, totalShuffled, totalSpilled, totalWasted)
+		fmtDur(totalWall), fmtDur(totalCritical), totalRetries, totalSpec,
+		totalShuffled, totalSpilled, totalWasted, totalRecomp)
 	if spans := c.DriverSpans(); len(spans) > 0 {
 		var driver time.Duration
 		for _, sp := range spans {
@@ -52,6 +56,7 @@ func (c *Cluster) Summary() string {
 		for _, kind := range []string{
 			RecoveryMachineKill, RecoveryTaskRetry, RecoveryCacheEvict,
 			RecoveryShuffleEvict, RecoveryBroadcastEvict, RecoveryShuffleRecompute,
+			RecoverySpeculativeLaunch, RecoverySpeculativeWin, RecoverySpeculativeLoss,
 		} {
 			if n := counts[kind]; n > 0 {
 				fmt.Fprintf(&b, "  %s=%d", kind, n)
@@ -146,14 +151,16 @@ func (c *Cluster) WriteChromeTrace(w io.Writer) error {
 			PID:  chromeDriverPID,
 			TID:  chromeStageTID,
 			Args: map[string]any{
-				"tag":            s.Tag,
-				"tasks":          s.Tasks,
-				"critical_us":    durMicros(s.Critical),
-				"retries":        s.Retries,
-				"bytes_shuffled": s.BytesShuffled,
-				"bytes_spilled":  s.BytesSpilled,
-				"bytes_wasted":   s.BytesWasted,
-				"skew":           s.Skew(),
+				"tag":               s.Tag,
+				"tasks":             s.Tasks,
+				"critical_us":       durMicros(s.Critical),
+				"retries":           s.Retries,
+				"speculative_tasks": s.SpeculativeTasks,
+				"bytes_shuffled":    s.BytesShuffled,
+				"bytes_spilled":     s.BytesSpilled,
+				"bytes_wasted":      s.BytesWasted,
+				"bytes_recomputed":  s.BytesRecomputed,
+				"skew":              s.Skew(),
 			},
 		})
 	}
@@ -203,6 +210,9 @@ func (c *Cluster) WriteChromeTrace(w io.Writer) error {
 			"transient_peak": t.TransientPeak,
 			"bytes_shuffled": t.BytesShuffled,
 			"bytes_spilled":  t.BytesSpilled,
+		}
+		if t.Speculative {
+			args["speculative"] = true
 		}
 		if t.Error != "" {
 			args["error"] = t.Error
