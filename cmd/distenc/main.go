@@ -81,6 +81,8 @@ func main() {
 		ckptDir   = flag.String("checkpoint-dir", "", "directory for solver checkpoints (required with -checkpoint-every; where -resume looks)")
 		resume    = flag.Bool("resume", false, "resume from the latest checkpoint in -checkpoint-dir instead of starting fresh")
 		faultSpec = flag.String("fault-plan", "", "seeded chaos schedule for the simulated cluster, e.g. \"seed=7,failprob=0.02,kill=1@5\" (needs -machines > 0; see distenc.ParseFaultPlan)")
+		kernelStr = flag.String("kernel", "auto", "MTTKRP kernel: auto (per-partition cost model), fused, or spmv (needs -machines > 0)")
+		wireStr   = flag.String("wire", "varint", "shuffle wire format: raw (u32+f64), varint (delta rows, lossless, default), or f32 (lossy values, f64 accumulation)")
 		specSpec  = flag.String("speculation", "", "speculative execution for straggler mitigation: \"on\" for defaults or \"quantile=0.75,multiplier=1.5,min=10ms\" (needs -machines > 0; see distenc.ParseSpeculation)")
 
 		traceOut = flag.String("trace", "", "write a Chrome-trace JSON (chrome://tracing, Perfetto) of every stage, task and driver span to this file (needs -machines > 0)")
@@ -170,6 +172,12 @@ func main() {
 		if *specSpec != "" {
 			log.Fatal("-speculation needs the distributed solver (-machines > 0)")
 		}
+		if *kernelStr != "auto" {
+			log.Fatal("-kernel needs the distributed solver (-machines > 0)")
+		}
+		if *wireStr != "varint" {
+			log.Fatal("-wire needs the distributed solver (-machines > 0)")
+		}
 		if *resume {
 			res, err = distenc.Resume(t, similarities, opt)
 		} else {
@@ -190,6 +198,14 @@ func main() {
 				log.Fatal(err)
 			}
 		}
+		kernel, err := distenc.ParseKernelMode(*kernelStr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wire, err := distenc.ParseWireFormat(*wireStr)
+		if err != nil {
+			log.Fatal(err)
+		}
 		// Per-task records cost memory proportional to task count, so the
 		// engine only keeps them when a trace was asked for; the per-stage
 		// rollups behind -stage-summary are always on.
@@ -203,10 +219,11 @@ func main() {
 			log.Fatal(err)
 		}
 		defer c.Close()
+		dopt := distenc.DistOptions{Options: opt, Kernel: kernel, Wire: wire}
 		if *resume {
-			res, err = distenc.ResumeDistributed(c, t, similarities, distenc.DistOptions{Options: opt})
+			res, err = distenc.ResumeDistributed(c, t, similarities, dopt)
 		} else {
-			res, err = distenc.CompleteDistributed(c, t, similarities, distenc.DistOptions{Options: opt})
+			res, err = distenc.CompleteDistributed(c, t, similarities, dopt)
 		}
 	}
 	if err != nil {

@@ -84,6 +84,39 @@ type RecoveryEvent = rdd.RecoveryEvent
 // CLI flag takes, e.g. "seed=7,failprob=0.02,kill=1@5".
 var ParseFaultPlan = rdd.ParseFaultPlan
 
+// KernelMode selects the map-side MTTKRP kernel: KernelAuto picks fused or
+// SpMV-chain per partition from a static cost model; KernelFused and
+// KernelSpMV force one everywhere (set DistOptions.Kernel).
+type KernelMode = core.KernelMode
+
+// Kernel modes for DistOptions.Kernel.
+const (
+	KernelAuto  = core.KernelAuto
+	KernelFused = core.KernelFused
+	KernelSpMV  = core.KernelSpMV
+)
+
+// ParseKernelMode parses a -kernel CLI flag value: "auto", "fused" or
+// "spmv".
+var ParseKernelMode = core.ParseKernelMode
+
+// WireFormat selects the shuffle record encoding: WireRaw ships u32 rows +
+// f64 values, WireVarint delta-varint rows + f64 values (lossless, the
+// default), WireF32 delta rows + f32 values with f64 accumulation (set
+// DistOptions.Wire).
+type WireFormat = rdd.WireFormat
+
+// Wire formats for DistOptions.Wire.
+const (
+	WireRaw    = rdd.WireRaw
+	WireVarint = rdd.WireVarint
+	WireF32    = rdd.WireF32
+)
+
+// ParseWireFormat parses a -wire CLI flag value: "raw", "varint" (or
+// "lossless"), or "f32" (or "float32").
+var ParseWireFormat = rdd.ParseWireFormat
+
 // SpeculationConfig enables Spark-style speculative execution on the
 // simulated cluster: tasks running far beyond the completed-task duration
 // distribution get a backup attempt on a different machine, and the first

@@ -1,14 +1,22 @@
-// Package hotalloc locks in the flat-accumulator structure of the fused
-// MTTKRP kernels (the O(R·nnz) per-iteration hot path of Algorithm 3): inside
-// functions annotated `//distenc:hotpath`, loop bodies may not allocate
-// (append / make / new / slice, map or closure literals), write to maps, or
-// box values into interfaces. Any of these inside the per-non-zero loops
-// silently reintroduces the per-entry garbage the fused kernel was built to
-// eliminate — a regression benchmarks only catch when someone re-runs them.
+// Package hotalloc locks in the allocation discipline of the MTTKRP kernels
+// (the O(R·nnz) per-iteration hot path of Algorithm 3). Inside functions
+// annotated `//distenc:hotpath`:
+//
+//   - loop bodies may not allocate (append / make / new / slice, map or
+//     closure literals), write to maps, or box values into interfaces — any
+//     of these inside the per-non-zero loops silently reintroduces the
+//     per-entry garbage the fused kernel was built to eliminate;
+//   - make / new / append are flagged anywhere in the body, loop or not:
+//     hot-path scratch must come from the task arena (rdd.TaskCtx.Arena),
+//     which is what makes steady-state iterations allocation-free. The one
+//     sanctioned exception is the amortized self-append idiom
+//     `buf = append(buf, …)` outside a loop — growing a caller-owned buffer
+//     in place is how the wire encoders work.
 //
 // Setup and emission code that runs per mode or per partition rather than
-// per non-zero is excluded with a `//distenc:coldpath` directive on the
-// statement (or loop) that owns it.
+// per non-zero — or whose result must outlive the arena's reset cycle — is
+// excluded with a `//distenc:coldpath` directive on the statement (or loop)
+// that owns it.
 //
 // The directive is recognized on a func declaration's doc comment, or on the
 // line(s) directly above a statement containing func literals (annotating,
@@ -26,7 +34,7 @@ import (
 // Analyzer is the hotalloc pass.
 var Analyzer = &framework.Analyzer{
 	Name: "hotalloc",
-	Doc:  "functions marked //distenc:hotpath must not allocate, write maps, or box interfaces in loop bodies",
+	Doc:  "functions marked //distenc:hotpath must draw scratch from the task arena, never the heap, and must not write maps or box interfaces in loop bodies",
 	Run:  run,
 }
 
@@ -65,9 +73,12 @@ func markLiterals(pass *framework.Pass, dirs *directives.Map, stmt ast.Stmt) {
 	})
 }
 
-// checkHot walks a hot function body tracking loop depth; violations are
-// reported only for nodes inside at least one loop body.
+// checkHot walks a hot function body tracking loop depth. Allocating
+// builtins are violations at any depth (hot-path scratch belongs to the task
+// arena); map writes, interface boxing, and literal allocations are reported
+// only inside loop bodies, where they run per entry.
 func checkHot(pass *framework.Pass, dirs *directives.Map, body *ast.BlockStmt) {
+	selfAppends := collectSelfAppends(body)
 	var walk func(n ast.Node, inLoop bool)
 	walk = func(root ast.Node, inLoop bool) {
 		ast.Inspect(root, func(n ast.Node) bool {
@@ -121,14 +132,40 @@ func checkHot(pass *framework.Pass, dirs *directives.Map, body *ast.BlockStmt) {
 					}
 				}
 			case *ast.CallExpr:
-				if inLoop {
-					checkCall(pass, n)
-				}
+				checkCall(pass, n, inLoop, selfAppends)
 			}
 			return true
 		})
 	}
 	walk(body, false)
+}
+
+// collectSelfAppends gathers the append calls of the amortized in-place
+// growth idiom `buf = append(buf, …)` (and its := form): outside a loop,
+// growing a caller-owned buffer in place is the sanctioned way to build wire
+// frames, so those calls are exempt from the arena rule.
+func collectSelfAppends(body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	ok := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		asg, isAsg := n.(*ast.AssignStmt)
+		if !isAsg || len(asg.Lhs) != len(asg.Rhs) {
+			return true
+		}
+		for i, rhs := range asg.Rhs {
+			call, isCall := ast.Unparen(rhs).(*ast.CallExpr)
+			if !isCall || len(call.Args) == 0 {
+				continue
+			}
+			if id, isIdent := ast.Unparen(call.Fun).(*ast.Ident); !isIdent || id.Name != "append" {
+				continue
+			}
+			if types.ExprString(asg.Lhs[i]) == types.ExprString(call.Args[0]) {
+				ok[call] = true
+			}
+		}
+		return true
+	})
+	return ok
 }
 
 func kindOf(pass *framework.Pass, n ast.Expr) string {
@@ -141,18 +178,29 @@ func kindOf(pass *framework.Pass, n ast.Expr) string {
 	return "composite"
 }
 
-// checkCall flags allocating builtins and interface boxing at a call site
-// inside a hot loop.
-func checkCall(pass *framework.Pass, call *ast.CallExpr) {
+// checkCall flags allocating builtins anywhere in a hot body (with the
+// self-append exemption outside loops) and interface boxing inside hot loops.
+func checkCall(pass *framework.Pass, call *ast.CallExpr, inLoop bool, selfAppends map[*ast.CallExpr]bool) {
 	info := pass.TypesInfo
 	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
 		if b, ok := info.Uses[id].(*types.Builtin); ok {
 			switch b.Name() {
 			case "append", "make", "new":
-				pass.Reportf(call.Pos(), "%s inside a hot-path loop; hoist the allocation out of the per-entry path or mark the statement //distenc:coldpath -- reason", b.Name())
+				switch {
+				case inLoop:
+					pass.Reportf(call.Pos(), "%s inside a hot-path loop; hoist the allocation out of the per-entry path or mark the statement //distenc:coldpath -- reason", b.Name())
+				case b.Name() == "append" && selfAppends[call]:
+					// buf = append(buf, …): amortized in-place growth of a
+					// caller-owned buffer, the wire-encoder idiom.
+				default:
+					pass.Reportf(call.Pos(), "%s allocates from the heap in a //distenc:hotpath body; draw scratch from the task arena (rdd.TaskCtx.Arena) or mark the statement //distenc:coldpath -- reason", b.Name())
+				}
 			}
 			return
 		}
+	}
+	if !inLoop {
+		return
 	}
 	tv, ok := info.Types[call.Fun]
 	if !ok {

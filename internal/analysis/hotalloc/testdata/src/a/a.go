@@ -7,7 +7,7 @@ func sink(v any) { _ = v }
 
 //distenc:hotpath
 func hotKernel(xs []float64, out []float64, m map[int]int) []float64 {
-	buf := make([]float64, 8) // setup before the loop is fine
+	buf := make([]float64, 8) // want `make allocates from the heap in a //distenc:hotpath body`
 	for i, x := range xs {
 		out = append(out, x)  // want `append inside a hot-path loop`
 		tmp := make([]int, 4) // want `make inside a hot-path loop`
@@ -42,4 +42,21 @@ func statementForm(xs []int) func() {
 		}
 	}
 	return fn
+}
+
+// Outside loops, the arena rule still bites: scratch must come from the task
+// arena, with two escapes — the amortized self-append idiom and an explicit
+// coldpath waiver.
+//
+//distenc:hotpath
+func hotEncoder(buf []byte, vals []float64) []byte {
+	buf = append(buf, byte(len(vals))) // self-append: caller-owned buffer grows in place
+	tmp := new(int)                    // want `new allocates from the heap in a //distenc:hotpath body`
+	_ = tmp
+	other := append(buf, 0) // want `append allocates from the heap in a //distenc:hotpath body`
+	_ = other
+	//distenc:coldpath -- result outlives the arena's reset cycle
+	escape := make([]float64, len(vals))
+	copy(escape, vals)
+	return buf
 }

@@ -199,7 +199,7 @@ func runGridVariant(p Profile, t *sptensor.Tensor, opt core.Options, grid bool) 
 	})
 	defer c.Close()
 	start := time.Now()
-	res, err := core.CompleteDistributed(c, t, nil, core.DistOptions{Options: opt, GridPartition: grid})
+	res, err := core.CompleteDistributed(c, t, nil, core.DistOptions{Options: opt, GridPartition: grid, Kernel: p.Kernel, Wire: p.Wire})
 	o := Outcome{
 		Method: MethodDisTenC, Elapsed: time.Since(start), Sim: c.SimulatedTime(),
 		Result: res, Metrics: c.Metrics().Snapshot(),
@@ -220,7 +220,7 @@ func runMethodUniform(p Profile, t *sptensor.Tensor, opt core.Options) Outcome {
 	})
 	defer c.Close()
 	start := time.Now()
-	res, err := core.CompleteDistributed(c, t, nil, core.DistOptions{Options: opt, UniformPartition: true})
+	res, err := core.CompleteDistributed(c, t, nil, core.DistOptions{Options: opt, UniformPartition: true, Kernel: p.Kernel, Wire: p.Wire})
 	o := Outcome{Method: MethodDisTenC, Elapsed: time.Since(start), Sim: c.SimulatedTime(), Result: res}
 	if err != nil {
 		o.Status = "error: " + err.Error()

@@ -213,3 +213,43 @@ func TestPurityHelper(t *testing.T) {
 		t.Fatal("empty purity")
 	}
 }
+
+func TestKernelsExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kernel matrix repeats full solves; slow under -race")
+	}
+	var sb strings.Builder
+	kernels, wires := Kernels(&sb, smallProfile())
+	if len(kernels) != 3 {
+		t.Fatalf("kernel rows = %d, want 3", len(kernels))
+	}
+	for _, k := range kernels {
+		if k.Seconds.Min <= 0 || k.Seconds.Median < k.Seconds.Min {
+			t.Fatalf("%v: bad summary %+v", k.Kernel, k.Seconds)
+		}
+	}
+	if len(wires) != 3 {
+		t.Fatalf("wire rows = %d, want 3", len(wires))
+	}
+	raw, varint, f32 := wires[0], wires[1], wires[2]
+	if varint.BytesShuffled >= raw.BytesShuffled {
+		t.Fatalf("varint wire shuffled %d bytes, raw %d: no compression", varint.BytesShuffled, raw.BytesShuffled)
+	}
+	if f32.ReductionVsRaw < 1.9 {
+		t.Fatalf("f32 wire reduction %.2fx vs raw, want ≥ 1.9x", f32.ReductionVsRaw)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := summarize([]float64{3, 1, 2})
+	if s.Min != 1 || s.Median != 2 {
+		t.Fatalf("odd summary = %+v", s)
+	}
+	s = summarize([]float64{4, 1, 3, 2})
+	if s.Min != 1 || s.Median != 2.5 {
+		t.Fatalf("even summary = %+v", s)
+	}
+	if z := summarize(nil); z.Min != 0 || z.Median != 0 {
+		t.Fatalf("empty summary = %+v", z)
+	}
+}

@@ -121,6 +121,63 @@ func TestChaosSolveBitIdentical(t *testing.T) {
 	}
 }
 
+// TestChaosKernelChoice asserts the MTTKRP kernel choice is invisible to
+// fault recovery: under the same seeded fault plan (task failures plus a
+// mid-run machine kill), every kernel mode must recover to factors
+// bit-identical to its own failure-free run, report the same recovery-event
+// profile, and — because kernel choice never changes what is shuffled, only
+// how it is computed — every mode must land on exactly the same BytesShuffled.
+func TestChaosKernelChoice(t *testing.T) {
+	d := synth.LinearFactorDataset([]int{20, 20, 20}, 2, 1500, 61)
+	opts := Options{Rank: 3, MaxIter: 5, Tol: 0, Seed: 62}
+	shuffled := make(map[KernelMode]int64)
+	for _, kernel := range []KernelMode{KernelFused, KernelSpMV, KernelAuto} {
+		dopt := DistOptions{Options: opts, GridPartition: true, Kernel: kernel}
+
+		clean := rdd.MustNewCluster(rdd.Config{Machines: 3})
+		want, err := CompleteDistributed(clean, d.Tensor, d.Sims, dopt)
+		if err != nil {
+			t.Fatalf("kernel=%v clean: %v", kernel, err)
+		}
+
+		chaos := rdd.MustNewCluster(rdd.Config{Machines: 3, Fault: &rdd.FaultPlan{
+			Seed:            7,
+			TaskFailureProb: 0.25,
+			KillMachine:     1,
+			KillAtStage:     5,
+		}})
+		got, err := CompleteDistributed(chaos, d.Tensor, d.Sims, dopt)
+		if err != nil {
+			t.Fatalf("kernel=%v chaos: %v", kernel, err)
+		}
+
+		var kills int
+		for _, ev := range chaos.Recoveries() {
+			if ev.Kind == rdd.RecoveryMachineKill {
+				kills++
+			}
+		}
+		if kills != 1 {
+			t.Errorf("kernel=%v: recovery log has %d machine kills, want 1", kernel, kills)
+		}
+		if retries := chaos.Metrics().TaskRetries.Load(); retries == 0 {
+			t.Errorf("kernel=%v: chaos run retried no tasks", kernel)
+		}
+		cleanShuffled := clean.Metrics().BytesShuffled.Load()
+		if chaosShuffled := chaos.Metrics().BytesShuffled.Load(); chaosShuffled != cleanShuffled {
+			t.Errorf("kernel=%v: chaos BytesShuffled = %d, clean = %d", kernel, chaosShuffled, cleanShuffled)
+		}
+		shuffled[kernel] = cleanShuffled
+		assertBitIdentical(t, "kernel="+kernel.String(), want.Model.Factors, got.Model.Factors)
+		clean.Close()
+		chaos.Close()
+	}
+	if shuffled[KernelFused] != shuffled[KernelSpMV] || shuffled[KernelAuto] != shuffled[KernelFused] {
+		t.Errorf("BytesShuffled differs across kernels: fused=%d spmv=%d auto=%d",
+			shuffled[KernelFused], shuffled[KernelSpMV], shuffled[KernelAuto])
+	}
+}
+
 // TestChaosSpeculationStragglers is the straggler-mitigation acceptance test:
 // a distributed solve under a seeded straggler plan with speculative
 // execution enabled must produce factors bit-identical to a failure-free

@@ -37,6 +37,19 @@ type DistOptions struct {
 	// combining — the property behind the paper's Figure 4 linearity. The
 	// solver's mathematics is independent of the blocking.
 	GridPartition bool
+	// Kernel selects the map-side MTTKRP kernel: KernelAuto (default) picks
+	// fused or SpMV-chain per partition from the layout's static cost model;
+	// KernelFused and KernelSpMV force one kernel everywhere. The kernels
+	// agree to float rounding (identical residual norms, factor entries
+	// within summation-reorder error), and the choice is a pure function of
+	// the layout, so it never perturbs recovery behavior.
+	Kernel KernelMode
+	// Wire selects the PackedRows shuffle wire format: unset resolves to
+	// rdd.WireVarint (lossless delta-varint row compression); rdd.WireF32
+	// additionally narrows values to float32 on the wire (decoded back to
+	// float64, so accumulation stays in double precision); rdd.WireRaw is
+	// the uncompressed v1 layout.
+	Wire rdd.WireFormat
 }
 
 // RowKey addresses one factor-matrix row; Mode -1 carries side-channel
@@ -231,6 +244,12 @@ type Layout struct {
 	// accumulator slab into per-destination PackedRows records.
 	rowRuns [][][]int
 	parts   int
+	// kernelOf[p] is the resolved MTTKRP kernel for partition p (fused or
+	// SpMV), and modePerm[p][n] the per-mode entry permutation the SpMV walk
+	// streams through (nil for mode 0, whose canonical order is already
+	// correct, and for fused partitions). See planKernels.
+	kernelOf []KernelMode
+	modePerm [][][]int32
 }
 
 func NewLayout(t *sptensor.Tensor, opt DistOptions) *Layout {
@@ -322,6 +341,7 @@ func NewLayout(t *sptensor.Tensor, opt DistOptions) *Layout {
 		}
 		l.locIdx[b] = loc
 	}
+	l.planKernels(opt.Kernel)
 	return l
 }
 
@@ -416,6 +436,7 @@ func distributedGram(c *rdd.Cluster, f *mat.Dense, bounds part.Boundaries) (*mat
 	rowsRDD := rdd.FromPartitions(c, "gram-rows", blocks)
 	//distenc:hotpath
 	partial := rdd.MapPartitions(rowsRDD, "gram-partial", func(tc *rdd.TaskCtx, p int, in [][]float64) ([][]float64, error) {
+		//distenc:coldpath -- one R×R slab per task that escapes through Reduce into the solver's Eq. 16 algebra; arena memory must not outlive the iteration
 		g := make([]float64, rank*rank)
 		for _, row := range in {
 			for i := 0; i < rank; i++ {

@@ -3,7 +3,6 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
-	"math"
 	"slices"
 
 	"distenc/internal/mat"
@@ -14,11 +13,26 @@ import (
 // sends to one reduce partition, packed as a row-id list plus a values slab
 // (len(Rows)×R, row-major). Packing drops the shuffle record count from
 // O(rows) gob-encoded KVs to O(P·N) slabs per map task; Mode -1 carries the
-// ‖E‖²_F side-channel in Vals[0]. The type implements rdd.BinaryRecord, so
-// shuffle blocks use the compact binary framing below instead of gob while
-// still flowing through the engine's BytesShuffled accounting.
+// ‖E‖²_F side-channel in Vals[0]. The type implements rdd.ArenaBinaryRecord,
+// so shuffle blocks use the compact v2 binary framing below instead of gob —
+// still flowing through the engine's BytesShuffled accounting, which thereby
+// counts compressed wire bytes — and the shuffle fetch path decodes payloads
+// into task-arena slabs instead of fresh heap allocations.
+//
+// v2 wire frame (see DESIGN.md §III-C.2 for the byte-level diagram):
+//
+//	tag(u8) mode(u16 LE) nrows(uvarint) nvals(uvarint) rows… vals…
+//
+// where tag is the rdd.WireFormat: WireRaw ships u32 rows + f64 values (the
+// v1 layout), WireVarint ships zigzag-varint delta-coded rows + f64 values,
+// and WireF32 delta rows + f32 values (widened to f64 on decode). The tag
+// rides in every frame, so a decoded record re-encodes bit-identically and
+// mixed-format blocks are well-defined.
 type PackedRows struct {
 	Mode int16
+	// Wire is the frame format used on encode (zero encodes as WireRaw) and
+	// observed on decode.
+	Wire rdd.WireFormat
 	Rows []int32
 	Vals []float64
 }
@@ -29,28 +43,54 @@ type PackedRows struct {
 //
 //distenc:hotpath
 func (p *PackedRows) AppendRecord(buf []byte) []byte {
+	w := p.Wire
+	if !w.Valid() {
+		w = rdd.WireRaw
+	}
+	buf = append(buf, byte(w))
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(p.Mode))
 	buf = binary.AppendUvarint(buf, uint64(len(p.Rows)))
 	buf = binary.AppendUvarint(buf, uint64(len(p.Vals)))
-	for _, r := range p.Rows {
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(r))
-	}
-	for _, v := range p.Vals {
-		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	switch w {
+	case rdd.WireRaw:
+		buf = rdd.AppendRawRows(buf, p.Rows)
+		buf = rdd.AppendF64Vals(buf, p.Vals)
+	case rdd.WireVarint:
+		buf = rdd.AppendDeltaRows(buf, p.Rows)
+		buf = rdd.AppendF64Vals(buf, p.Vals)
+	case rdd.WireF32:
+		buf = rdd.AppendDeltaRows(buf, p.Rows)
+		buf = rdd.AppendF32Vals(buf, p.Vals)
 	}
 	return buf
 }
 
-// DecodeRecord implements rdd.BinaryRecord. The two slab allocations happen
-// once per record, before the per-element loops.
-//
-//distenc:hotpath
+// DecodeRecord implements rdd.BinaryRecord, allocating the payload slices on
+// the heap — the right lifetime for arena-less callers (checkpoint reads,
+// the codec fuzzer).
 func (p *PackedRows) DecodeRecord(data []byte) ([]byte, error) {
-	if len(data) < 2 {
-		return nil, fmt.Errorf("core: packed record truncated at mode")
+	return p.decode(nil, data)
+}
+
+// DecodeRecordArena implements rdd.ArenaBinaryRecord: like DecodeRecord but
+// the payload slices come from the task arena, so the shuffle fetch path of
+// a steady-state iteration allocates nothing.
+func (p *PackedRows) DecodeRecordArena(a *rdd.Arena, data []byte) ([]byte, error) {
+	return p.decode(a, data)
+}
+
+//distenc:hotpath
+func (p *PackedRows) decode(a *rdd.Arena, data []byte) ([]byte, error) {
+	if len(data) < 3 {
+		return nil, fmt.Errorf("core: packed record truncated at header")
 	}
-	p.Mode = int16(binary.LittleEndian.Uint16(data))
-	data = data[2:]
+	w := rdd.WireFormat(data[0])
+	if !w.Valid() {
+		return nil, fmt.Errorf("core: packed record has unknown wire tag %d", data[0])
+	}
+	p.Wire = w
+	p.Mode = int16(binary.LittleEndian.Uint16(data[1:]))
+	data = data[3:]
 	nr, used := binary.Uvarint(data)
 	if used <= 0 {
 		return nil, fmt.Errorf("core: packed record truncated at row count")
@@ -62,28 +102,51 @@ func (p *PackedRows) DecodeRecord(data []byte) ([]byte, error) {
 	}
 	data = data[used:]
 	// Bound the counts by the payload before doing arithmetic on them: nr
-	// and nv come off the wire, so nr*4+nv*8 can wrap uint64 and slip past a
-	// naive length check straight into a huge (or panicking) allocation.
-	if nr > uint64(len(data))/4 || nv > uint64(len(data))/8 {
+	// and nv come off the wire, so a naive nr*rowSize+nv*valSize length
+	// check can wrap uint64 and slip a huge (or panicking) allocation past
+	// it. Every wire format costs at least one byte per row (varint delta)
+	// and four per value (f32), so counts above those bounds are corrupt.
+	rowMin, valMin := uint64(1), uint64(8)
+	if w == rdd.WireRaw {
+		rowMin = 4
+	}
+	if w == rdd.WireF32 {
+		valMin = 4
+	}
+	if nr > uint64(len(data))/rowMin || nv > uint64(len(data))/valMin {
 		return nil, fmt.Errorf("core: packed record claims %d rows, %d values in a %d-byte payload", nr, nv, len(data))
 	}
-	if uint64(len(data)) < nr*4+nv*8 {
-		return nil, fmt.Errorf("core: packed record payload %d bytes, want %d", len(data), nr*4+nv*8)
+	if a != nil {
+		p.Rows = a.Int32s(int(nr))
+		p.Vals = a.Float64s(int(nv))
 	}
-	p.Rows = make([]int32, nr)
-	for i := range p.Rows {
-		p.Rows[i] = int32(binary.LittleEndian.Uint32(data[i*4:]))
+	//distenc:coldpath -- heap fallback for arena-less callers (checkpoint reads, fuzzing); the shuffle fetch hot path passes an arena
+	if a == nil {
+		p.Rows = make([]int32, nr)
+		p.Vals = make([]float64, nv)
 	}
-	data = data[nr*4:]
-	p.Vals = make([]float64, nv)
-	for i := range p.Vals {
-		p.Vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+	var err error
+	if w == rdd.WireRaw {
+		data, err = rdd.DecodeRawRows(p.Rows, data)
+	} else {
+		data, err = rdd.DecodeDeltaRows(p.Rows, data)
 	}
-	return data[nv*8:], nil
+	if err != nil {
+		return nil, err
+	}
+	if w == rdd.WireF32 {
+		data, err = rdd.DecodeF32Vals(p.Vals, data)
+	} else {
+		data, err = rdd.DecodeF64Vals(p.Vals, data)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
 }
 
 // fusedScratch is the per-task workspace of the fused kernel, allocated once
-// per map task rather than per entry or per mode.
+// per arena lifetime (stashed) rather than per entry or per mode.
 type fusedScratch struct {
 	// left holds the N+1 prefix products with stride R:
 	// left[n·R : (n+1)·R] = ∗_{k<n} A(k)[i_k, :], so left[N·R:] is the full
@@ -177,21 +240,57 @@ func fusedBlockMTTKRP(blk *TensorBlock, loc []int32, factors []*mat.Dense, rank 
 	return norm2
 }
 
+// mttkrpMapScratch is the map task's stash-resident container set: the
+// slice-of-slice headers and fixed-size kernel scratch survive across
+// iterations in the arena stash, while the big slabs they point at are
+// re-drawn from the (reset) arena every iteration.
+type mttkrpMapScratch struct {
+	acc   [][]float64
+	out   [][]PackedRows
+	rest  []int
+	fused *fusedScratch
+}
+
+// mttkrpReduceScratch is the reduce task's stash-resident container set.
+type mttkrpReduceScratch struct {
+	slabs   [][]float64
+	touched [][]bool
+	out     []PackedRows
+}
+
+// Arena stash keys for the two MTTKRP closures. A lineage recompute can run
+// the map closure inside a reduce attempt's arena, so the keys must be
+// distinct for the two scratch sets to coexist.
+const (
+	mttkrpMapStash    = "core.mttkrp.map"
+	mttkrpReduceStash = "core.mttkrp.reduce"
+)
+
 // MTTKRPStage executes the per-iteration distributed stage and returns the
 // assembled H_n = E_(n)·U(n) matrices plus ‖E‖²_F.
 //
 // The map side ships each block the factor rows its non-zeros touch (counted
-// as shuffle traffic — the O(T·N·M·I·R) term of Lemma 3), runs the fused
-// kernel into one flat accumulator slab per mode, and emits one PackedRows
-// record per (destination partition, mode): the layout's sorted needed-row
-// lists make each destination a contiguous slice of the slab. The reduce side
-// sums the incoming slabs into its dense row ranges and returns one compacted
-// record per mode for the driver to scatter into H_n. The two sides run as
-// distinct named stages — "mttkrp-map" (shuffle write) and "mttkrp-reduce"
-// (collect) — so stage logs, phase attribution and fault-injection prefixes
-// can tell the kernel from the reduction.
+// as shuffle traffic — the O(T·N·M·I·R) term of Lemma 3, scaled by the wire
+// format's bytes-per-value), runs the partition's planned kernel (fused or
+// SpMV-chain, see planKernels) into one flat accumulator slab per mode, and
+// emits one PackedRows record per (destination partition, mode): the layout's
+// sorted needed-row lists make each destination a contiguous slice of the
+// slab. The reduce side sums the incoming slabs into its dense row ranges and
+// returns one compacted record per mode for the driver to scatter into H_n.
+// The two sides run as distinct named stages — "mttkrp-map" (shuffle write)
+// and "mttkrp-reduce" (collect) — so stage logs, phase attribution and
+// fault-injection prefixes can tell the kernel from the reduction.
+//
+// All per-iteration scratch — accumulator slabs, SpMV residuals, emitted and
+// compacted record payloads — comes from the task arena, which the cluster
+// pools by (machine, stage, partition): after the first iteration sizes the
+// slabs, steady-state iterations allocate nothing.
 func MTTKRPStage(c *rdd.Cluster, blocks *rdd.RDD[*TensorBlock], l *Layout, factors []*mat.Dense, opt DistOptions) ([]*mat.Dense, float64, error) {
 	rank := opt.Rank
+	wire := opt.Wire
+	if !wire.Valid() {
+		wire = rdd.WireVarint
+	}
 	// Snapshot the factor slice: under speculative execution a losing
 	// duplicate attempt can outlive this stage, and the solver overwrites
 	// its factors slice entries (advance/advanceNoResid) as soon as the
@@ -199,9 +298,10 @@ func MTTKRPStage(c *rdd.Cluster, blocks *rdd.RDD[*TensorBlock], l *Layout, facto
 	// only the slice slots are rewritten — so a shallow clone pins what the
 	// zombie reads.
 	factors = slices.Clone(factors)
-	// Bytes of factor rows shipped to each block, plus the flat accumulator
-	// slabs the kernel fills — both live simultaneously on a real executor,
-	// and the slabs are the same size as the shipped rows.
+	// Bytes of factor rows shipped to each block (at the wire format's value
+	// width — the rows travel over the same compressed shuffle), plus the
+	// flat accumulator slabs the kernel fills and the SpMV kernel's residual
+	// slab — all live simultaneously on a real executor.
 	shipSizes := make([]int64, l.parts)
 	slabSizes := make([]int64, l.parts)
 	for p := 0; p < l.parts; p++ {
@@ -209,8 +309,13 @@ func MTTKRPStage(c *rdd.Cluster, blocks *rdd.RDD[*TensorBlock], l *Layout, facto
 		for n := 0; n < l.order; n++ {
 			rows += int64(len(l.neededRows[p][n]))
 		}
-		shipSizes[p] = rows * int64(rank) * 8
-		slabSizes[p] = shipSizes[p]
+		shipSizes[p] = rows * int64(rank) * wire.BytesPerVal()
+		slabSizes[p] = rows * int64(rank) * 8
+		if l.kernelOf[p] == KernelSpMV {
+			for _, blk := range l.blockParts[p] {
+				slabSizes[p] += int64(blk.NNZ()) * 8
+			}
+		}
 	}
 	bounds := l.modeBounds
 
@@ -221,27 +326,56 @@ func MTTKRPStage(c *rdd.Cluster, blocks *rdd.RDD[*TensorBlock], l *Layout, facto
 	// ΣI_n·R entries to every machine and erase the row-shipment accounting
 	// the experiments measure, so the read-only capture is waived, not
 	// converted.
-	//distenc:capture-ok factors l shipSizes slabSizes -- read-only; row shipment charged via CountShuffled per Lemma 3
+	//distenc:capture-ok factors l shipSizes slabSizes wire -- read-only; row shipment charged via CountShuffled per Lemma 3
 	//distenc:hotpath
 	packed := rdd.ShuffleMap(blocks, "mttkrp-map", l.parts, func(tc *rdd.TaskCtx, p int, in []*TensorBlock) ([][]PackedRows, error) {
 		if err := tc.ChargeTransient(shipSizes[p] + slabSizes[p]); err != nil {
 			return nil, err
 		}
 		tc.CountShuffled(shipSizes[p])
-		acc := make([][]float64, l.order)
-		//distenc:coldpath -- slab setup, one allocation per mode, not per non-zero
+		a := tc.Arena()
+		ms, _ := a.Stash(mttkrpMapStash).(*mttkrpMapScratch)
+		//distenc:coldpath -- first-use stash setup; every later iteration reuses these containers from the arena stash
+		if ms == nil {
+			ms = &mttkrpMapScratch{
+				acc:   make([][]float64, l.order),
+				out:   make([][]PackedRows, l.parts),
+				rest:  make([]int, 0, l.order),
+				fused: newFusedScratch(l.order, rank),
+			}
+			a.SetStash(mttkrpMapStash, ms)
+		}
+		acc := ms.acc
 		for n := range acc {
-			acc[n] = make([]float64, len(l.neededRows[p][n])*rank)
+			acc[n] = a.Float64s(len(l.neededRows[p][n]) * rank)
 		}
 		var norm2 float64
-		scratch := newFusedScratch(l.order, rank)
-		off := 0
-		for _, blk := range in {
-			norm2 += fusedBlockMTTKRP(blk, l.locIdx[p][off:off+len(blk.Idx)], factors, rank, acc, scratch)
-			off += len(blk.Idx)
+		if l.kernelOf[p] == KernelSpMV {
+			blk := l.blockParts[p][0]
+			left := a.Float64s((l.order + 1) * rank)
+			resid := a.Float64s(blk.NNZ())
+			tmp := a.Float64s(l.order * rank)
+			norm2 = spmvResiduals(blk, factors, rank, left, resid)
+			for n := 0; n < l.order; n++ {
+				rest := restModes(ms.rest, l.order, n)
+				var perm []int32
+				if l.modePerm[p] != nil {
+					perm = l.modePerm[p][n]
+				}
+				spmvModeMTTKRP(blk, l.locIdx[p], perm, n, rest, factors, rank, resid, tmp, acc[n])
+			}
+		} else {
+			off := 0
+			for _, blk := range in {
+				norm2 += fusedBlockMTTKRP(blk, l.locIdx[p][off:off+len(blk.Idx)], factors, rank, acc, ms.fused)
+				off += len(blk.Idx)
+			}
 		}
-		out := make([][]PackedRows, l.parts)
-		//distenc:coldpath -- emission runs per (mode, destination) slab, not per non-zero
+		out := ms.out
+		for i := range out {
+			out[i] = out[i][:0]
+		}
+		//distenc:coldpath -- emission appends one record per (mode, destination) slab into stash-pooled capacity; grows only on the first iteration
 		for n := 0; n < l.order; n++ {
 			rows := l.neededRows[p][n]
 			runs := l.rowRuns[p][n]
@@ -252,13 +386,17 @@ func MTTKRPStage(c *rdd.Cluster, blocks *rdd.RDD[*TensorBlock], l *Layout, facto
 				}
 				out[rp] = append(out[rp], PackedRows{
 					Mode: int16(n),
+					Wire: wire,
 					Rows: rows[lo:hi],
 					Vals: acc[n][lo*rank : hi*rank],
 				})
 			}
 		}
 		// The residual-norm side-channel rides to reduce partition 0.
-		out[0] = append(out[0], PackedRows{Mode: -1, Vals: []float64{norm2}})
+		nv := a.Float64s(1)
+		nv[0] = norm2
+		//distenc:coldpath -- one record per task into stash-pooled capacity
+		out[0] = append(out[0], PackedRows{Mode: -1, Wire: wire, Vals: nv})
 		return out, nil
 	})
 
@@ -267,9 +405,21 @@ func MTTKRPStage(c *rdd.Cluster, blocks *rdd.RDD[*TensorBlock], l *Layout, facto
 	//distenc:capture-ok l bounds -- read-only layout metadata; negligible against the slab shuffle
 	//distenc:hotpath
 	reduced := rdd.MapPartitions(packed, "mttkrp-reduce", func(tc *rdd.TaskCtx, rp int, in []PackedRows) ([]PackedRows, error) {
+		a := tc.Arena()
+		rs, _ := a.Stash(mttkrpReduceStash).(*mttkrpReduceScratch)
+		//distenc:coldpath -- first-use stash setup; every later iteration reuses these containers from the arena stash
+		if rs == nil {
+			rs = &mttkrpReduceScratch{
+				slabs:   make([][]float64, l.order),
+				touched: make([][]bool, l.order),
+			}
+			a.SetStash(mttkrpReduceStash, rs)
+		}
+		slabs, touched := rs.slabs, rs.touched
+		for n := range slabs {
+			slabs[n], touched[n] = nil, nil
+		}
 		var norm2 float64
-		slabs := make([][]float64, l.order)
-		touched := make([][]bool, l.order)
 		for _, rec := range in {
 			if rec.Mode < 0 {
 				norm2 += rec.Vals[0]
@@ -277,7 +427,7 @@ func MTTKRPStage(c *rdd.Cluster, blocks *rdd.RDD[*TensorBlock], l *Layout, facto
 			}
 			n := int(rec.Mode)
 			lo, hi := bounds[n].Range(rp)
-			//distenc:coldpath -- lazy slab init, at most one allocation per mode
+			//distenc:coldpath -- lazy slab init, at most one arena draw per mode
 			if slabs[n] == nil {
 				// One rank-wide float64 row plus one byte of touched-bitmap
 				// per row — not (rank+1) full words, which over-charged the
@@ -285,8 +435,8 @@ func MTTKRPStage(c *rdd.Cluster, blocks *rdd.RDD[*TensorBlock], l *Layout, facto
 				if err := tc.ChargeTransient(int64(hi-lo) * (int64(rank)*8 + 1)); err != nil {
 					return nil, err
 				}
-				slabs[n] = make([]float64, (hi-lo)*rank)
-				touched[n] = make([]bool, hi-lo)
+				slabs[n] = a.Float64s((hi - lo) * rank)
+				touched[n] = a.Bools(hi - lo)
 			}
 			for i, row := range rec.Rows {
 				li := int(row) - lo
@@ -298,8 +448,8 @@ func MTTKRPStage(c *rdd.Cluster, blocks *rdd.RDD[*TensorBlock], l *Layout, facto
 				}
 			}
 		}
-		var out []PackedRows
-		//distenc:coldpath -- compaction runs per touched row into preallocated capacity, not per incoming value
+		out := rs.out[:0]
+		//distenc:coldpath -- compaction runs per touched row into arena slabs, not per incoming value
 		for n := 0; n < l.order; n++ {
 			if slabs[n] == nil {
 				continue
@@ -311,20 +461,26 @@ func MTTKRPStage(c *rdd.Cluster, blocks *rdd.RDD[*TensorBlock], l *Layout, facto
 					cnt++
 				}
 			}
-			rowsOut := make([]int32, 0, cnt)
-			valsOut := make([]float64, 0, cnt*rank)
+			rowsOut := a.Int32s(cnt)
+			valsOut := a.Float64s(cnt * rank)
+			ri := 0
 			for li, t := range touched[n] {
 				if !t {
 					continue
 				}
-				rowsOut = append(rowsOut, int32(lo+li))
-				valsOut = append(valsOut, slabs[n][li*rank:(li+1)*rank]...)
+				rowsOut[ri] = int32(lo + li)
+				copy(valsOut[ri*rank:(ri+1)*rank], slabs[n][li*rank:(li+1)*rank])
+				ri++
 			}
 			out = append(out, PackedRows{Mode: int16(n), Rows: rowsOut, Vals: valsOut})
 		}
 		if rp == 0 {
-			out = append(out, PackedRows{Mode: -1, Vals: []float64{norm2}})
+			nv := a.Float64s(1)
+			nv[0] = norm2
+			//distenc:coldpath -- one record per task into stash-pooled capacity
+			out = append(out, PackedRows{Mode: -1, Vals: nv})
 		}
+		rs.out = out
 		return out, nil
 	})
 

@@ -3,40 +3,72 @@ package core
 import (
 	"bytes"
 	"encoding/binary"
+	"math"
 	"testing"
+
+	"distenc/internal/rdd"
 )
 
 // FuzzDecodeRecord hammers the shuffle codec with arbitrary bytes: a decode
 // must either error or return a record that re-encodes to the same canonical
 // form — and must never panic or allocate from attacker-controlled counts
 // (the uint64-wrap bug where nr*4+nv*8 overflowed past the length check).
-// CI runs this target for a 30-second smoke on every push.
+// The v2 frame carries its wire format in the leading tag byte, so the
+// fuzzer exercises all three layouts: raw, delta-varint rows (including
+// truncated varints and delta chains that overflow int32), and float32
+// values (including the float32↔float64 widening corners). CI runs this
+// target for a 30-second smoke on every push.
 func FuzzDecodeRecord(f *testing.F) {
-	// Well-formed seeds: a typical record, the Mode -1 norm² side-channel,
-	// and an empty record.
-	full := PackedRows{Mode: 2, Rows: []int32{1, 5, 9}, Vals: []float64{1.5, -2, 0, 3.25, 8, 13}}
-	f.Add(full.AppendRecord(nil))
-	norm := PackedRows{Mode: -1, Vals: []float64{42}}
-	f.Add(norm.AppendRecord(nil))
+	// Well-formed seeds: a typical record in every wire format, the Mode -1
+	// norm² side-channel, and an empty record.
+	for _, w := range []rdd.WireFormat{rdd.WireRaw, rdd.WireVarint, rdd.WireF32} {
+		full := PackedRows{Mode: 2, Wire: w, Rows: []int32{1, 5, 9}, Vals: []float64{1.5, -2, 0, 3.25, 8, 13}}
+		f.Add(full.AppendRecord(nil))
+		norm := PackedRows{Mode: -1, Wire: w, Vals: []float64{42}}
+		f.Add(norm.AppendRecord(nil))
+	}
 	f.Add((&PackedRows{}).AppendRecord(nil))
-	// Truncations at every header boundary.
+	// Float corners through the lossy format: NaN, infinities, subnormals,
+	// and values that round on the f64→f32 narrowing.
+	corners := PackedRows{Mode: 1, Wire: rdd.WireF32, Rows: []int32{0},
+		Vals: []float64{math.NaN(), math.Inf(1), math.Inf(-1), 1e-310, math.Pi, -0.0}}
+	f.Add(corners.AppendRecord(nil))
+	// Non-monotone rows: deltas go negative (zigzag path).
+	backward := PackedRows{Mode: 0, Wire: rdd.WireVarint, Rows: []int32{100, 3, 50}, Vals: nil}
+	f.Add(backward.AppendRecord(nil))
+	// Truncations at every header boundary (tag, mode, counts).
 	f.Add([]byte{})
-	f.Add([]byte{7})
-	f.Add([]byte{7, 0})
-	f.Add([]byte{7, 0, 3})
+	f.Add([]byte{byte(rdd.WireVarint)})
+	f.Add([]byte{byte(rdd.WireVarint), 7})
+	f.Add([]byte{byte(rdd.WireVarint), 7, 0})
+	f.Add([]byte{byte(rdd.WireVarint), 7, 0, 3})
+	// Unknown wire tag.
+	f.Add([]byte{0xEE, 7, 0, 0, 0})
 	// Crafted wrap: nr = 2^62 makes nr*4 ≡ 0 (mod 2^64), so a naive
 	// "len(data) < nr*4+nv*8" check passes and the alloc of nr rows OOMs.
-	var wrap []byte
-	wrap = binary.LittleEndian.AppendUint16(wrap, 3)
+	wrap := []byte{byte(rdd.WireRaw), 3, 0}
 	wrap = binary.AppendUvarint(wrap, 1<<62)
 	wrap = binary.AppendUvarint(wrap, 0)
 	f.Add(wrap)
-	var wrapPair []byte
-	wrapPair = binary.LittleEndian.AppendUint16(wrapPair, 3)
+	wrapPair := []byte{byte(rdd.WireRaw), 3, 0}
 	wrapPair = binary.AppendUvarint(wrapPair, 1<<62) // nr·4 wraps to 0
 	wrapPair = binary.AppendUvarint(wrapPair, 1)     // nv·8 = 8 survives the naive check
 	wrapPair = append(wrapPair, make([]byte, 8)...)
 	f.Add(wrapPair)
+	// Varint-specific corruption: a truncated mid-delta varint, and a delta
+	// chain whose running sum overflows int32.
+	trunc := []byte{byte(rdd.WireVarint), 0, 0}
+	trunc = binary.AppendUvarint(trunc, 2)
+	trunc = binary.AppendUvarint(trunc, 0)
+	trunc = binary.AppendVarint(trunc, 5)
+	trunc = append(trunc, 0x80) // continuation byte with no terminator
+	f.Add(trunc)
+	over := []byte{byte(rdd.WireVarint), 0, 0}
+	over = binary.AppendUvarint(over, 2)
+	over = binary.AppendUvarint(over, 0)
+	over = binary.AppendVarint(over, math.MaxInt32)
+	over = binary.AppendVarint(over, 10) // running sum exceeds int32
+	f.Add(over)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var p PackedRows
@@ -45,7 +77,7 @@ func FuzzDecodeRecord(f *testing.F) {
 			return
 		}
 		used := len(data) - len(rest)
-		if used < 2 || used > len(data) {
+		if used < 3 || used > len(data) {
 			t.Fatalf("decode consumed %d of %d bytes", used, len(data))
 		}
 		// A record the decoder accepted must round-trip through the encoder
@@ -63,24 +95,115 @@ func FuzzDecodeRecord(f *testing.F) {
 		if !bytes.Equal(re, q.AppendRecord(nil)) {
 			t.Fatalf("round-trip not stable: %+v vs %+v", p, q)
 		}
-		if q.Mode != p.Mode || len(q.Rows) != len(p.Rows) || len(q.Vals) != len(p.Vals) {
+		if q.Mode != p.Mode || q.Wire != p.Wire || len(q.Rows) != len(p.Rows) || len(q.Vals) != len(p.Vals) {
 			t.Fatalf("round-trip mismatch: %+v vs %+v", p, q)
 		}
 	})
 }
 
-// The wrap seeds above must be rejected (not just not-crash): a success would
-// mean the decoder believed a multi-exabyte claim from a tiny payload.
-func TestDecodeRecordRejectsWrappedCounts(t *testing.T) {
-	for _, nr := range []uint64{1 << 62, 1<<64 - 1, 1 << 40} {
-		var data []byte
-		data = binary.LittleEndian.AppendUint16(data, 0)
-		data = binary.AppendUvarint(data, nr)
-		data = binary.AppendUvarint(data, 1)
-		data = append(data, make([]byte, 8)...)
-		var p PackedRows
-		if _, err := p.DecodeRecord(data); err == nil {
-			t.Errorf("nr=%d: decode accepted a wrapped row count", nr)
+// TestCodecRoundTripAllWires pins the lossless (and exactly-representable
+// lossy) round-trip per wire format, including arena-backed decode, which
+// must agree byte-for-byte with the heap decode.
+func TestCodecRoundTripAllWires(t *testing.T) {
+	recs := []PackedRows{
+		{Mode: 0, Rows: []int32{0, 1, 2, 3}, Vals: []float64{1, 2, 3, 4, 5, 6, 7, 8}},
+		{Mode: 3, Rows: []int32{7, 7000, 7001, 2_000_000_000}, Vals: []float64{-0.5, 0.25}},
+		{Mode: -1, Vals: []float64{42.125}},
+		{Mode: 1, Rows: []int32{500, 3, 499}, Vals: nil}, // unsorted: negative deltas
+	}
+	var arena rdd.Arena
+	for _, w := range []rdd.WireFormat{rdd.WireRaw, rdd.WireVarint, rdd.WireF32} {
+		for _, rec := range recs {
+			rec.Wire = w
+			enc := rec.AppendRecord(nil)
+			var heap, ar PackedRows
+			rest, err := heap.DecodeRecord(enc)
+			if err != nil {
+				t.Fatalf("wire=%v: decode: %v", w, err)
+			}
+			if len(rest) != 0 {
+				t.Fatalf("wire=%v: %d trailing bytes", w, len(rest))
+			}
+			restA, err := ar.DecodeRecordArena(&arena, enc)
+			if err != nil {
+				t.Fatalf("wire=%v: arena decode: %v", w, err)
+			}
+			if len(restA) != 0 {
+				t.Fatalf("wire=%v: arena decode left %d trailing bytes", w, len(restA))
+			}
+			if !bytes.Equal(heap.AppendRecord(nil), ar.AppendRecord(nil)) {
+				t.Fatalf("wire=%v: arena and heap decodes disagree: %+v vs %+v", w, heap, ar)
+			}
+			if heap.Mode != rec.Mode || len(heap.Rows) != len(rec.Rows) || len(heap.Vals) != len(rec.Vals) {
+				t.Fatalf("wire=%v: decoded %+v, want %+v", w, heap, rec)
+			}
+			for i, r := range rec.Rows {
+				if heap.Rows[i] != r {
+					t.Fatalf("wire=%v: row %d = %d, want %d", w, i, heap.Rows[i], r)
+				}
+			}
+			for i, v := range rec.Vals {
+				want := v
+				if w == rdd.WireF32 {
+					want = float64(float32(v))
+				}
+				if math.Float64bits(heap.Vals[i]) != math.Float64bits(want) {
+					t.Fatalf("wire=%v: val %d = %v, want %v", w, i, heap.Vals[i], want)
+				}
+			}
 		}
+	}
+}
+
+// The wrap seeds above must be rejected (not just not-crash): a success would
+// mean the decoder believed a multi-exabyte claim from a tiny payload. Every
+// wire format gets the treatment — raw rows cost 4 bytes, varint rows at
+// least 1, f32 values 4 — mirroring the original uint64-wrap fix.
+func TestDecodeRecordRejectsWrappedCounts(t *testing.T) {
+	for _, w := range []rdd.WireFormat{rdd.WireRaw, rdd.WireVarint, rdd.WireF32} {
+		for _, nr := range []uint64{1 << 62, 1<<64 - 1, 1 << 40} {
+			data := []byte{byte(w), 0, 0}
+			data = binary.AppendUvarint(data, nr)
+			data = binary.AppendUvarint(data, 1)
+			data = append(data, make([]byte, 8)...)
+			var p PackedRows
+			if _, err := p.DecodeRecord(data); err == nil {
+				t.Errorf("wire=%v nr=%d: decode accepted a wrapped row count", w, nr)
+			}
+		}
+		// Same class of attack through the value count.
+		for _, nv := range []uint64{1 << 61, 1<<64 - 1, 1 << 40} {
+			data := []byte{byte(w), 0, 0}
+			data = binary.AppendUvarint(data, 0)
+			data = binary.AppendUvarint(data, nv)
+			data = append(data, make([]byte, 16)...)
+			var p PackedRows
+			if _, err := p.DecodeRecord(data); err == nil {
+				t.Errorf("wire=%v nv=%d: decode accepted a wrapped value count", w, nv)
+			}
+		}
+	}
+}
+
+// TestDecodeRecordRejectsDeltaOverflow pins the delta-chain overflow guard:
+// a varint row stream whose running sum leaves int32 range must be rejected,
+// not silently wrapped into a bogus row index.
+func TestDecodeRecordRejectsDeltaOverflow(t *testing.T) {
+	data := []byte{byte(rdd.WireVarint), 0, 0}
+	data = binary.AppendUvarint(data, 2)
+	data = binary.AppendUvarint(data, 0)
+	data = binary.AppendVarint(data, math.MaxInt32)
+	data = binary.AppendVarint(data, 1)
+	var p PackedRows
+	if _, err := p.DecodeRecord(data); err == nil {
+		t.Error("decode accepted a delta chain overflowing int32")
+	}
+	// A single absurd delta is rejected even before the running sum check.
+	data = []byte{byte(rdd.WireVarint), 0, 0}
+	data = binary.AppendUvarint(data, 1)
+	data = binary.AppendUvarint(data, 0)
+	data = binary.AppendVarint(data, math.MaxInt64)
+	if _, err := p.DecodeRecord(data); err == nil {
+		t.Error("decode accepted a delta beyond the 33-bit bound")
 	}
 }

@@ -54,10 +54,11 @@ func relClose(a, b, tol float64) bool {
 	return math.Abs(a-b) <= tol*scale
 }
 
-// TestMTTKRPStageMatchesNaive is the golden equivalence test for the fused
-// kernel + packed shuffle: across tensor orders, block layouts, and partition
-// counts, the distributed stage must agree per row with the naive serial
-// reference within 1e-9 relative tolerance.
+// TestMTTKRPStageMatchesNaive is the golden equivalence test for the stage
+// kernels + packed shuffle: across tensor orders, block layouts, partition
+// counts, and kernels (fused, SpMV-chain, and the auto selector), the
+// distributed stage must agree per row with the naive serial reference within
+// 1e-9 relative tolerance.
 func TestMTTKRPStageMatchesNaive(t *testing.T) {
 	const tol = 1e-9
 	const rank = 5
@@ -73,6 +74,7 @@ func TestMTTKRPStageMatchesNaive(t *testing.T) {
 		{"grid", DistOptions{GridPartition: true}},
 		{"uniform", DistOptions{UniformPartition: true}},
 	}
+	kernels := []KernelMode{KernelAuto, KernelFused, KernelSpMV}
 	rng := rand.New(rand.NewPCG(71, 72))
 	for _, dims := range shapes {
 		ts := randomTensor(dims, 40*len(dims)*len(dims), rng)
@@ -80,32 +82,146 @@ func TestMTTKRPStageMatchesNaive(t *testing.T) {
 		wantHs, wantNorm2 := naiveStageMTTKRP(ts, factors)
 		for _, lo := range layouts {
 			for _, parts := range []int{1, 3, 8} {
-				opt := lo.opt
-				opt.Options = Options{Rank: rank}.withDefaults()
-				opt.Partitions = parts
-				c := rdd.MustNewCluster(rdd.Config{Machines: 3})
-				layout := NewLayout(ts, opt)
-				gotHs, gotNorm2, err := MTTKRPStage(c, layout.BlocksRDD(c), layout, factors, opt)
-				if err != nil {
-					t.Fatalf("order-%d %s P=%d: %v", len(dims), lo.name, parts, err)
-				}
-				if !relClose(gotNorm2, wantNorm2, tol) {
-					t.Fatalf("order-%d %s P=%d: ‖E‖² = %v, want %v", len(dims), lo.name, parts, gotNorm2, wantNorm2)
-				}
-				for n := range wantHs {
-					for i := 0; i < wantHs[n].Rows(); i++ {
-						wantRow, gotRow := wantHs[n].Row(i), gotHs[n].Row(i)
-						for r := 0; r < rank; r++ {
-							if !relClose(gotRow[r], wantRow[r], tol) {
-								t.Fatalf("order-%d %s P=%d: H_%d[%d,%d] = %v, want %v",
-									len(dims), lo.name, parts, n, i, r, gotRow[r], wantRow[r])
+				for _, kernel := range kernels {
+					opt := lo.opt
+					opt.Options = Options{Rank: rank}.withDefaults()
+					opt.Partitions = parts
+					opt.Kernel = kernel
+					c := rdd.MustNewCluster(rdd.Config{Machines: 3})
+					layout := NewLayout(ts, opt)
+					gotHs, gotNorm2, err := MTTKRPStage(c, layout.BlocksRDD(c), layout, factors, opt)
+					if err != nil {
+						t.Fatalf("order-%d %s P=%d kernel=%v: %v", len(dims), lo.name, parts, kernel, err)
+					}
+					if !relClose(gotNorm2, wantNorm2, tol) {
+						t.Fatalf("order-%d %s P=%d kernel=%v: ‖E‖² = %v, want %v", len(dims), lo.name, parts, kernel, gotNorm2, wantNorm2)
+					}
+					for n := range wantHs {
+						for i := 0; i < wantHs[n].Rows(); i++ {
+							wantRow, gotRow := wantHs[n].Row(i), gotHs[n].Row(i)
+							for r := 0; r < rank; r++ {
+								if !relClose(gotRow[r], wantRow[r], tol) {
+									t.Fatalf("order-%d %s P=%d kernel=%v: H_%d[%d,%d] = %v, want %v",
+										len(dims), lo.name, parts, kernel, n, i, r, gotRow[r], wantRow[r])
+								}
 							}
 						}
 					}
+					c.Close()
 				}
-				c.Close()
 			}
 		}
+	}
+}
+
+// TestMTTKRPCrossKernel pins the fused and SpMV-chain kernels against each
+// other across every golden config: the residual norm must be bit-identical
+// (both kernels sum it in canonical entry order), the factors must agree
+// within 1e-9, and — because a record's byte length is independent of its
+// values — both kernels must shuffle exactly the same number of bytes, so
+// kernel choice never perturbs the Lemma 3 accounting.
+func TestMTTKRPCrossKernel(t *testing.T) {
+	const tol = 1e-9
+	const rank = 5
+	shapes := [][]int{
+		{17, 23, 9},
+		{7, 9, 11, 5},
+	}
+	layouts := []struct {
+		name string
+		opt  DistOptions
+	}{
+		{"mode0-greedy", DistOptions{}},
+		{"grid", DistOptions{GridPartition: true}},
+		{"uniform", DistOptions{UniformPartition: true}},
+	}
+	rng := rand.New(rand.NewPCG(91, 92))
+	for _, dims := range shapes {
+		ts := randomTensor(dims, 40*len(dims)*len(dims), rng)
+		factors := randomFactors(dims, rank, rng)
+		for _, lo := range layouts {
+			for _, parts := range []int{1, 3, 8} {
+				run := func(kernel KernelMode) ([]*mat.Dense, float64, int64) {
+					opt := lo.opt
+					opt.Options = Options{Rank: rank}.withDefaults()
+					opt.Partitions = parts
+					opt.Kernel = kernel
+					c := rdd.MustNewCluster(rdd.Config{Machines: 3})
+					defer c.Close()
+					layout := NewLayout(ts, opt)
+					hs, norm2, err := MTTKRPStage(c, layout.BlocksRDD(c), layout, factors, opt)
+					if err != nil {
+						t.Fatalf("order-%d %s P=%d kernel=%v: %v", len(dims), lo.name, parts, kernel, err)
+					}
+					return hs, norm2, c.Metrics().BytesShuffled.Load()
+				}
+				fusedHs, fusedNorm2, fusedBytes := run(KernelFused)
+				spmvHs, spmvNorm2, spmvBytes := run(KernelSpMV)
+				if math.Float64bits(fusedNorm2) != math.Float64bits(spmvNorm2) {
+					t.Fatalf("order-%d %s P=%d: residual norms differ: fused %v, spmv %v",
+						len(dims), lo.name, parts, fusedNorm2, spmvNorm2)
+				}
+				if fusedBytes != spmvBytes {
+					t.Fatalf("order-%d %s P=%d: BytesShuffled differ: fused %d, spmv %d",
+						len(dims), lo.name, parts, fusedBytes, spmvBytes)
+				}
+				for n := range fusedHs {
+					fd, sd := fusedHs[n].Data(), spmvHs[n].Data()
+					for i := range fd {
+						if !relClose(fd[i], sd[i], tol) {
+							t.Fatalf("order-%d %s P=%d: H_%d[%d]: fused %v, spmv %v",
+								len(dims), lo.name, parts, n, i, fd[i], sd[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMTTKRPWireFormats pins the wire formats against each other on one
+// golden config: raw and varint are lossless and must produce bit-identical
+// factors; f32 narrows values on the wire and must stay within float32
+// relative error. Compressed formats must never shuffle more bytes than raw.
+func TestMTTKRPWireFormats(t *testing.T) {
+	const rank = 5
+	dims := []int{17, 23, 9}
+	rng := rand.New(rand.NewPCG(101, 102))
+	ts := randomTensor(dims, 40*len(dims)*len(dims), rng)
+	factors := randomFactors(dims, rank, rng)
+	run := func(wire rdd.WireFormat) ([]*mat.Dense, int64) {
+		opt := DistOptions{GridPartition: true}
+		opt.Options = Options{Rank: rank}.withDefaults()
+		opt.Partitions = 4
+		opt.Wire = wire
+		c := rdd.MustNewCluster(rdd.Config{Machines: 3})
+		defer c.Close()
+		layout := NewLayout(ts, opt)
+		hs, _, err := MTTKRPStage(c, layout.BlocksRDD(c), layout, factors, opt)
+		if err != nil {
+			t.Fatalf("wire=%v: %v", wire, err)
+		}
+		return hs, c.Metrics().BytesShuffled.Load()
+	}
+	rawHs, rawBytes := run(rdd.WireRaw)
+	varHs, varBytes := run(rdd.WireVarint)
+	f32Hs, f32Bytes := run(rdd.WireF32)
+	for n := range rawHs {
+		rd, vd, fd := rawHs[n].Data(), varHs[n].Data(), f32Hs[n].Data()
+		for i := range rd {
+			if math.Float64bits(rd[i]) != math.Float64bits(vd[i]) {
+				t.Fatalf("H_%d[%d]: raw %v != varint %v (lossless formats must agree bit-for-bit)", n, i, rd[i], vd[i])
+			}
+			if !relClose(fd[i], rd[i], 1e-5) {
+				t.Fatalf("H_%d[%d]: f32 %v vs raw %v beyond float32 error", n, i, fd[i], rd[i])
+			}
+		}
+	}
+	if varBytes >= rawBytes {
+		t.Fatalf("varint wire shuffled %d bytes, raw %d: compression must not grow traffic", varBytes, rawBytes)
+	}
+	if f32Bytes >= varBytes {
+		t.Fatalf("f32 wire shuffled %d bytes, varint %d: narrowing must shrink traffic", f32Bytes, varBytes)
 	}
 }
 

@@ -223,6 +223,9 @@ type Cluster struct {
 	// attempts tracks every in-flight task attempt, including speculative
 	// losers that outlive their stage; Quiesce waits for it.
 	attempts sync.WaitGroup
+	// arenas pools per-(machine, stage, partition) slab arenas across task
+	// attempts so steady-state iterations reuse scratch memory (see Arena).
+	arenas arenaPool
 
 	mu        sync.Mutex
 	nextID    int64
@@ -531,6 +534,9 @@ func (c *Cluster) shouldFail(stage string) bool {
 type TaskCtx struct {
 	Machine    int
 	c          *Cluster
+	stage      string // stage name, part of the arena pool key
+	part       int    // partition index, part of the arena pool key
+	arena      *Arena // lazily checked out; returned to the pool at attempt end
 	charged    int64
 	shuffled   int64
 	recomputed int64
@@ -617,6 +623,20 @@ func (tc *TaskCtx) commit() {
 
 // Cluster returns the cluster the task runs on.
 func (tc *TaskCtx) Cluster() *Cluster { return tc.c }
+
+// Arena returns the attempt's slab arena, checking one out of the cluster
+// pool (keyed by machine, stage, and partition) and resetting it on first
+// use. Lineage recomputes that re-enter an upstream closure inside the same
+// attempt share the attempt's arena without an intervening reset, so the
+// downstream closure's live slabs are never clobbered; the arena is checked
+// back in when the attempt finishes. See Arena for the lifetime contract.
+func (tc *TaskCtx) Arena() *Arena {
+	if tc.arena == nil {
+		tc.arena = tc.c.arenas.checkout(arenaKey{tc.Machine, tc.stage, tc.part})
+		tc.arena.Reset()
+	}
+	return tc.arena
+}
 
 // defaultMaxTaskRetries is the retry budget when Config.MaxTaskRetries is 0.
 const defaultMaxTaskRetries = 2
@@ -902,7 +922,7 @@ func (c *Cluster) runAttempt(st *stageState, ps *partState, task func(tc *TaskCt
 	if c.cfg.SerializeTasks {
 		c.serialMu.Lock()
 	}
-	tc := &TaskCtx{Machine: m, c: c}
+	tc := &TaskCtx{Machine: m, c: c, stage: st.name, part: p}
 	taskStart := time.Now()
 	if !speculative {
 		ps.bodyStarted(m, taskStart)
@@ -954,6 +974,13 @@ func (c *Cluster) runAttempt(st *stageState, ps *partState, task func(tc *TaskCt
 	}
 	if tc.charged > 0 {
 		c.release(m, tc.charged)
+	}
+	if tc.arena != nil {
+		// Returned only after the commit fired: hook-installed results may be
+		// arena-backed, and the driver consumes them before the next attempt
+		// of this (machine, stage, partition) key resets the slabs.
+		c.arenas.checkin(arenaKey{m, st.name, p}, tc.arena)
+		tc.arena = nil
 	}
 	<-mm.sem
 	c.metrics.TasksRun.Add(1)

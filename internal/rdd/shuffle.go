@@ -254,6 +254,12 @@ func (e *exchange[R]) fetch(tc *TaskCtx, rp int) ([]R, error) {
 		return nil, err
 	}
 	var out []R
+	var arena *Arena
+	if isArenaBinaryRecord[R]() {
+		// Fetched records live exactly as long as the consuming attempt, so
+		// their payloads can come from the task arena (see Arena).
+		arena = tc.Arena()
+	}
 	for mp := 0; mp < e.mapParts; mp++ {
 		var data []byte
 		if e.c.cfg.Mode == ModeMapReduce {
@@ -277,7 +283,7 @@ func (e *exchange[R]) fetch(tc *TaskCtx, rp int) ([]R, error) {
 				continue
 			}
 		}
-		records, err := decodeBlock[R](data)
+		records, err := decodeBlockArena[R](arena, data)
 		if err != nil {
 			return nil, fmt.Errorf("rdd: decoding shuffle block: %w", err)
 		}

@@ -64,6 +64,25 @@ func isBinaryRecord[R any]() bool {
 	return ok
 }
 
+// ArenaBinaryRecord is implemented by BinaryRecord types that can decode
+// their variable-length payloads into task-arena slabs instead of fresh heap
+// allocations. The shuffle fetch path uses it: fetched records live exactly
+// as long as the consuming task attempt, which is the arena lifetime. Paths
+// that outlive the attempt (Checkpoint reads, cached partitions) must keep
+// using DecodeRecord.
+type ArenaBinaryRecord interface {
+	BinaryRecord
+	// DecodeRecordArena parses one frame like DecodeRecord, drawing the
+	// receiver's slices from a.
+	DecodeRecordArena(a *Arena, data []byte) (rest []byte, err error)
+}
+
+// isArenaBinaryRecord reports whether *R implements ArenaBinaryRecord.
+func isArenaBinaryRecord[R any]() bool {
+	_, ok := any(new(R)).(ArenaBinaryRecord)
+	return ok
+}
+
 // encodeBlock serializes a shuffle block: the BinaryRecord fast path when the
 // record type provides one, encoding/gob otherwise.
 func encodeBlock[R any](records []R) ([]byte, error) {
@@ -83,16 +102,36 @@ func encodeBlock[R any](records []R) ([]byte, error) {
 
 // decodeBlock reverses encodeBlock.
 func decodeBlock[R any](data []byte) ([]R, error) {
+	return decodeBlockArena[R](nil, data)
+}
+
+// decodeBlockArena reverses encodeBlock, drawing record payload slices from
+// the arena when one is provided and the record type supports it (the
+// shuffle fetch hot path). With a nil arena it behaves like decodeBlock.
+func decodeBlockArena[R any](a *Arena, data []byte) ([]R, error) {
 	if isBinaryRecord[R]() {
 		n, used := binary.Uvarint(data)
 		if used <= 0 {
 			return nil, fmt.Errorf("rdd: corrupt binary shuffle block header")
 		}
 		data = data[used:]
+		if n > uint64(len(data)) {
+			// Each record frame is at least one byte; a bigger count is a
+			// corrupt or hostile header, so reject it before allocating.
+			return nil, fmt.Errorf("rdd: binary shuffle block claims %d records in %d bytes", n, len(data))
+		}
 		records := make([]R, n)
 		for i := range records {
 			var err error
-			data, err = any(&records[i]).(BinaryRecord).DecodeRecord(data)
+			if a != nil {
+				if ar, ok := any(&records[i]).(ArenaBinaryRecord); ok {
+					data, err = ar.DecodeRecordArena(a, data)
+				} else {
+					data, err = any(&records[i]).(BinaryRecord).DecodeRecord(data)
+				}
+			} else {
+				data, err = any(&records[i]).(BinaryRecord).DecodeRecord(data)
+			}
 			if err != nil {
 				return nil, fmt.Errorf("rdd: decoding binary shuffle record %d/%d: %w", i, n, err)
 			}

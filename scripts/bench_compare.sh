@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# bench_compare.sh — mechanical perf-regression gate.
+#
+# Runs the MTTKRP benchmarks and diffs them against the recorded baseline in
+# BENCH_mttkrp.json. Fails when
+#   - min ns/op across runs exceeds the baseline median by more than
+#     BENCH_TOL_PCT percent (default 25), or
+#   - allocs/op exceeds the baseline at all (allocation counts are exact and
+#     deterministic; any growth is a real regression — the SteadyState
+#     benchmarks must stay at exactly 0).
+#
+# The min-of-N statistic is deliberate: wall-clock noise on a shared host is
+# one-sided (interference slows runs, never speeds them), so the fastest of N
+# runs is the stable estimate of the code's true cost while the median drifts
+# with machine load.
+#
+# Usage: scripts/bench_compare.sh [-short]
+#   -short  CI smoke mode: 3 runs instead of 5, so the gate stays under a
+#           minute. The default benchtime is kept even here: these benchmarks
+#           are a few ms/op, and a capped -benchtime=Nx would under-amortize
+#           the one-time arena warm-up and inflate allocs/op vs the baseline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COUNT=5
+if [[ "${1:-}" == "-short" ]]; then
+  COUNT=3
+fi
+TOL_PCT="${BENCH_TOL_PCT:-25}"
+
+OUT=$(go test ./internal/core/ -run '^$' \
+  -bench 'BenchmarkMTTKRPStage$|BenchmarkMTTKRPStageGrid$|BenchmarkMTTKRPSteadyState' \
+  -benchmem -count "$COUNT")
+echo "$OUT"
+echo
+
+echo "$OUT" | python3 -c '
+import json, re, sys
+
+tol = float(sys.argv[1]) / 100.0
+base = json.load(open("BENCH_mttkrp.json"))["benchmarks"]
+
+runs = {}
+for line in sys.stdin:
+    m = re.match(r"^(Benchmark\w+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op\s+([\d.]+) B/op\s+(\d+) allocs/op", line)
+    if m:
+        name, ns, _, allocs = m.group(1), float(m.group(2)), m.group(3), int(m.group(4))
+        runs.setdefault(name, []).append((ns, allocs))
+
+if not runs:
+    sys.exit("bench_compare: no benchmark lines parsed")
+
+failed = False
+for name, samples in sorted(runs.items()):
+    if name not in base or "after" not in base[name]:
+        print(f"  {name}: no baseline recorded, skipping")
+        continue
+    want = base[name]["after"]
+    base_ns = want["ns_per_op_median"]
+    base_allocs = want["allocs_per_op"]
+    min_ns = min(ns for ns, _ in samples)
+    max_allocs = max(a for _, a in samples)
+    limit = base_ns * (1 + tol)
+    ns_ok = min_ns <= limit
+    # Zero-alloc baselines are an exact contract (the arena steady state);
+    # nonzero baselines get +2 of slack because the stage benchmarks amortize
+    # a one-time warm-up over b.N, which varies run to run.
+    allowed = base_allocs if base_allocs == 0 else base_allocs + 2
+    alloc_ok = max_allocs <= allowed
+    status = "ok" if ns_ok and alloc_ok else "FAIL"
+    print(f"  {name}: min {min_ns:.0f} ns/op (baseline median {base_ns}, limit {limit:.0f}), "
+          f"allocs {max_allocs} (baseline {base_allocs}) ... {status}")
+    if not ns_ok:
+        print(f"    ns/op regression: min-of-{len(samples)} {min_ns:.0f} > {limit:.0f} (+{tol*100:.0f}% over baseline median)")
+        failed = True
+    if not alloc_ok:
+        print(f"    allocs/op regression: {max_allocs} > baseline {base_allocs} (+slack)")
+        failed = True
+
+sys.exit(1 if failed else 0)
+' "$TOL_PCT"
