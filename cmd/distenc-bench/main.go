@@ -23,6 +23,7 @@ import (
 	"distenc/internal/bench"
 	"distenc/internal/core"
 	"distenc/internal/rdd"
+	"distenc/internal/transport"
 )
 
 var experiments = []struct {
@@ -47,9 +48,14 @@ var experiments = []struct {
 }
 
 func main() {
+	// Must run before anything else: with -backend tcp each experiment
+	// cluster re-execs this binary as its worker processes.
+	transport.WorkerHook()
+
 	log.SetFlags(0)
 	var (
 		exp       = flag.String("exp", "all", "experiment to run (all, "+names()+")")
+		backendF  = flag.String("backend", "inproc", "execution backend: inproc (default) or tcp (one worker process per simulated machine)")
 		small     = flag.Bool("small", false, "seconds-scale smoke profile")
 		seed      = flag.Uint64("seed", 1, "workload seed")
 		machines  = flag.Int("machines", 4, "simulated machines for non-scalability experiments")
@@ -102,7 +108,7 @@ func main() {
 	p := bench.Profile{
 		Small: *small, Seed: *seed, Machines: *machines,
 		TraceFile: *traceOut, StageSummary: *stageSum,
-		Kernel: kernel, Wire: wire,
+		Kernel: kernel, Wire: wire, Backend: *backendF,
 	}
 	if *faultSpec != "" {
 		fault, err := rdd.ParseFaultPlan(*faultSpec)

@@ -60,6 +60,10 @@ func (s simFlags) Set(v string) error {
 }
 
 func main() {
+	// Must run before anything else: with -backend tcp the driver re-execs
+	// this binary as its worker processes.
+	distenc.WorkerHook()
+
 	log.SetFlags(0)
 	log.SetPrefix("distenc: ")
 	var (
@@ -77,9 +81,12 @@ func main() {
 		nonneg   = flag.Bool("nonneg", false, "enforce the non-negativity constraint")
 		predict  = flag.String("predict", "", "after training, predict the cells listed in this file (one \"i1 i2 … iN\" line each; \"-\" for stdin)")
 
-		ckptEvery = flag.Int("checkpoint-every", 0, "persist the solver state every N iterations to -checkpoint-dir (0 = off)")
-		ckptDir   = flag.String("checkpoint-dir", "", "directory for solver checkpoints (required with -checkpoint-every; where -resume looks)")
-		resume    = flag.Bool("resume", false, "resume from the latest checkpoint in -checkpoint-dir instead of starting fresh")
+		ckptEvery   = flag.Int("checkpoint-every", 0, "persist the solver state every N iterations to -checkpoint-dir (0 = off)")
+		ckptDir     = flag.String("checkpoint-dir", "", "directory for solver checkpoints (required with -checkpoint-every; where -resume looks)")
+		resume      = flag.Bool("resume", false, "resume from the latest checkpoint in -checkpoint-dir instead of starting fresh")
+		backend     = flag.String("backend", "inproc", "execution backend: inproc (default, single process) or tcp (real worker processes; needs -machines > 0)")
+		workerAddrs = flag.String("worker-addrs", "", "comma-separated addresses of running distenc-worker daemons, one per machine (default with -backend tcp: spawn workers by re-execing this binary)")
+
 		faultSpec = flag.String("fault-plan", "", "seeded chaos schedule for the simulated cluster, e.g. \"seed=7,failprob=0.02,kill=1@5\" (needs -machines > 0; see distenc.ParseFaultPlan)")
 		kernelStr = flag.String("kernel", "auto", "MTTKRP kernel: auto (per-partition cost model), fused, or spmv (needs -machines > 0)")
 		wireStr   = flag.String("wire", "varint", "shuffle wire format: raw (u32+f64), varint (delta rows, lossless, default), or f32 (lossy values, f64 accumulation)")
@@ -163,6 +170,9 @@ func main() {
 	var res *distenc.Result
 	var c *distenc.Cluster
 	if *machines <= 0 {
+		if *backend != "inproc" {
+			log.Fatal("-backend tcp needs the distributed solver (-machines > 0)")
+		}
 		if *traceOut != "" {
 			log.Fatal("-trace needs the distributed solver (-machines > 0)")
 		}
@@ -206,6 +216,32 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		var tp distenc.Transport
+		switch *backend {
+		case "inproc":
+			if *workerAddrs != "" {
+				log.Fatal("-worker-addrs needs -backend tcp")
+			}
+		case "tcp":
+			var tcp *distenc.TCPTransport
+			if *workerAddrs != "" {
+				addrs := strings.Split(*workerAddrs, ",")
+				if len(addrs) != *machines {
+					log.Fatalf("-worker-addrs lists %d workers for %d machines", len(addrs), *machines)
+				}
+				tcp, err = distenc.DialTCPWorkers(addrs, distenc.TransportOptions{})
+			} else {
+				tcp, err = distenc.StartTCPWorkers(*machines, distenc.TransportOptions{})
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer tcp.Close() // after c.Close (LIFO): the cluster drops blocks first
+			tp = tcp
+			log.Printf("tcp backend: %d workers at %v", *machines, tcp.Addrs())
+		default:
+			log.Fatalf("unknown -backend %q (want inproc or tcp)", *backend)
+		}
 		// Per-task records cost memory proportional to task count, so the
 		// engine only keeps them when a trace was asked for; the per-stage
 		// rollups behind -stage-summary are always on.
@@ -214,6 +250,7 @@ func main() {
 			TaskTrace:   *traceOut != "",
 			Fault:       fault,
 			Speculation: spec,
+			Transport:   tp,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -40,6 +40,7 @@ import (
 	"distenc/internal/rdd"
 	"distenc/internal/sptensor"
 	"distenc/internal/synth"
+	"distenc/internal/transport"
 )
 
 // Tensor is an N-mode sparse tensor in coordinate format.
@@ -116,6 +117,38 @@ const (
 // ParseWireFormat parses a -wire CLI flag value: "raw", "varint" (or
 // "lossless"), or "f32" (or "float32").
 var ParseWireFormat = rdd.ParseWireFormat
+
+// Transport abstracts how tasks move shuffle blocks, broadcast replicas and
+// checkpoint images between machines. Nil (the default) keeps everything
+// in-process; set ClusterConfig.Transport to a TCP client to run against
+// real worker processes.
+type Transport = rdd.Transport
+
+// TransportOptions tunes the TCP execution backend (pool size, timeouts).
+type TransportOptions = transport.Options
+
+// TCPTransport is the TCP implementation of Transport: a pooling,
+// pipelining client fronting one distenc-worker process per machine.
+type TCPTransport = transport.Client
+
+// StartTCPWorkers spawns n worker processes by re-execing the current
+// binary — which must call WorkerHook first thing in main() — and returns a
+// Transport connected to them. Close it after the cluster.
+func StartTCPWorkers(n int, opts TransportOptions) (*TCPTransport, error) {
+	return transport.StartWorkers(n, opts)
+}
+
+// DialTCPWorkers connects to already-running distenc-worker daemons, one
+// per machine, index-aligned with machine IDs.
+func DialTCPWorkers(addrs []string, opts TransportOptions) (*TCPTransport, error) {
+	return transport.DialWorkers(addrs, opts)
+}
+
+// WorkerHook turns the current process into a TCP worker and never returns
+// when the DISTENC_WORKER_LISTEN environment variable is set; otherwise it
+// is a no-op. Any binary that calls StartTCPWorkers must call this first
+// thing in main().
+func WorkerHook() { transport.WorkerHook() }
 
 // SpeculationConfig enables Spark-style speculative execution on the
 // simulated cluster: tasks running far beyond the completed-task duration

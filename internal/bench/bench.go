@@ -18,6 +18,7 @@ import (
 	"distenc/internal/metrics"
 	"distenc/internal/rdd"
 	"distenc/internal/sptensor"
+	"distenc/internal/transport"
 )
 
 // Profile selects experiment scale.
@@ -57,6 +58,30 @@ type Profile struct {
 	// Wire selects DisTenC's shuffle wire format for every experiment
 	// (lossless delta-varint by default).
 	Wire rdd.WireFormat
+	// Backend selects the execution backend: "" or "inproc" keeps every
+	// cluster in-process; "tcp" spawns one worker process per machine for
+	// each cluster (the binary must call transport.WorkerHook first thing
+	// in main).
+	Backend string
+}
+
+// transportFor builds the profile's execution backend for one cluster of
+// the given width. The returned cleanup must run after the cluster's Close
+// (defer it before deferring Close); with the in-process backend the
+// Transport is nil and cleanup a no-op.
+func (p Profile) transportFor(machines int) (rdd.Transport, func(), error) {
+	switch p.Backend {
+	case "", "inproc":
+		return nil, func() {}, nil
+	case "tcp":
+		cl, err := transport.StartWorkers(machines, transport.Options{})
+		if err != nil {
+			return nil, nil, err
+		}
+		return cl, func() { cl.Close() }, nil
+	default:
+		return nil, nil, fmt.Errorf("bench: unknown backend %q (want inproc or tcp)", p.Backend)
+	}
 }
 
 func (p Profile) withDefaults() Profile {
@@ -124,12 +149,18 @@ const StatusOOM = "O.O.M."
 
 // runMethod executes one method on a fresh cluster sized by the profile.
 func runMethod(p Profile, m Method, machines int, t *sptensor.Tensor, sims []*graph.Similarity, opt core.Options, serialize bool) Outcome {
+	tp, tpClose, err := p.transportFor(machines)
+	if err != nil {
+		return Outcome{Method: m, Status: "backend: " + err.Error()}
+	}
+	defer tpClose()
 	cfg := rdd.Config{
 		Machines:         machines,
 		CoresPerMachine:  1,
 		MemoryPerMachine: p.MemoryPerMachine,
 		Mode:             m.engineMode(),
 		SerializeTasks:   serialize,
+		Transport:        tp,
 	}
 	if cfg.Mode == rdd.ModeMapReduce {
 		cfg.DiskLatencyPerMB = p.DiskLatencyPerMB

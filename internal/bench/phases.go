@@ -28,12 +28,19 @@ func Phases(w io.Writer, p Profile) *core.Result {
 		"MTTKRP map+reduce dominate each iteration; driver algebra stays flat as data grows")
 
 	t := synth.ScalabilityTensor([]int{dim, dim, dim}, nnz, p.Seed)
+	tp, tpClose, err := p.transportFor(p.Machines)
+	if err != nil {
+		fmt.Fprintf(w, "backend: %v\n", err)
+		return nil
+	}
+	defer tpClose()
 	c, err := rdd.NewCluster(rdd.Config{
 		Machines:         p.Machines,
 		MemoryPerMachine: p.MemoryPerMachine,
 		TaskTrace:        p.TraceFile != "",
 		Fault:            p.Fault,
 		Speculation:      p.Speculation,
+		Transport:        tp,
 	})
 	if err != nil {
 		fmt.Fprintf(w, "cluster: %v\n", err)

@@ -127,6 +127,14 @@ func writeCheckpoint(dir string, ck *checkpointState) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("core: writing checkpoint: %w", err)
 	}
+	// fsync before rename: without it a crash shortly after the rename can
+	// leave solver.ckpt pointing at never-flushed data — a torn checkpoint
+	// that Resume would trust over the intact previous one.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("core: syncing checkpoint: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("core: writing checkpoint: %w", err)

@@ -1,0 +1,76 @@
+package rdd
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tmpResidue lists leftover atomic-write temporaries in dir.
+func tmpResidue(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tmps []string
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			tmps = append(tmps, e.Name())
+		}
+	}
+	return tmps
+}
+
+func TestWriteFileAtomicSuccess(t *testing.T) {
+	c := MustNewCluster(Config{Machines: 2})
+	defer c.Close()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.blk")
+	want := []byte("durable bytes")
+	if err := c.writeFileAtomic(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	if tmps := tmpResidue(t, dir); len(tmps) != 0 {
+		t.Fatalf("temp residue after success: %v", tmps)
+	}
+}
+
+func TestWriteFileAtomicRenameFailureLeavesNoResidue(t *testing.T) {
+	c := MustNewCluster(Config{Machines: 2})
+	defer c.Close()
+	dir := t.TempDir()
+	// A non-empty directory at the destination makes os.Rename fail after
+	// the temp file was written and fsynced — the exact crash window the
+	// cleanup has to cover.
+	dest := filepath.Join(dir, "state.blk")
+	if err := os.MkdirAll(filepath.Join(dest, "occupied"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.writeFileAtomic(dest, []byte("doomed")); err == nil {
+		t.Fatal("writeFileAtomic succeeded renaming onto a non-empty directory")
+	}
+	if tmps := tmpResidue(t, dir); len(tmps) != 0 {
+		t.Fatalf("temp residue after rename failure: %v", tmps)
+	}
+}
+
+func TestWriteFrameFileAtomicRoundTrip(t *testing.T) {
+	c := MustNewCluster(Config{Machines: 2})
+	defer c.Close()
+	path := filepath.Join(t.TempDir(), "spill.blk")
+	want := bytes.Repeat([]byte{0x5A}, 10_000)
+	if err := c.writeFrameFileAtomic(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readFrameFile(path)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("framed read back failed: %v", err)
+	}
+}

@@ -109,6 +109,13 @@ type Config struct {
 	// commit and the loser's traffic lands in BytesWasted. Ignored under
 	// SerializeTasks, whose point is uncontended single-core task costs.
 	Speculation SpeculationConfig
+	// Transport, when set, moves committed block images (shuffle buckets,
+	// broadcast replicas, checkpoint partitions) to real worker processes
+	// instead of keeping them in the driver's memory — see the Transport
+	// interface. Nil selects the built-in in-process backend. The transport
+	// must front exactly Machines workers and is owned by the caller, who
+	// closes it after the cluster.
+	Transport Transport
 }
 
 func (c Config) withDefaults() Config {
@@ -227,14 +234,15 @@ type Cluster struct {
 	// attempts so steady-state iterations reuse scratch memory (see Arena).
 	arenas arenaPool
 
-	mu        sync.Mutex
-	nextID    int64
-	tmpDir    string
-	ownsTmp   bool
-	closed    bool
-	failOnce  map[string]int           // stage-name prefix -> remaining injected failures
-	evictors  map[int64]machineEvictor // storage holders notified by KillMachine
-	ckptFiles map[int64][]string       // Checkpoint files to delete on Unpersist/Close
+	mu         sync.Mutex
+	nextID     int64
+	tmpDir     string
+	ownsTmp    bool
+	closed     bool
+	failOnce   map[string]int           // stage-name prefix -> remaining injected failures
+	evictors   map[int64]machineEvictor // storage holders notified by KillMachine
+	ckptFiles  map[int64][]string       // Checkpoint files to delete on Unpersist/Close
+	ckptRemote map[int64]struct{}       // worker-held Checkpoints to Drop on Unpersist/Close
 
 	serialMu    sync.Mutex // held per task when SerializeTasks is set
 	simMu       sync.Mutex
@@ -328,6 +336,10 @@ type DriverSpan struct {
 // NewCluster builds a cluster from cfg.
 func NewCluster(cfg Config) (*Cluster, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Transport != nil && cfg.Transport.Workers() != cfg.Machines {
+		return nil, fmt.Errorf("rdd: transport fronts %d workers but the cluster has %d machines",
+			cfg.Transport.Workers(), cfg.Machines)
+	}
 	c := &Cluster{cfg: cfg, failOnce: map[string]int{}, start: time.Now()}
 	for i := 0; i < cfg.Machines; i++ {
 		c.machines = append(c.machines, &machine{
@@ -372,19 +384,29 @@ func (c *Cluster) Quiesce() { c.attempts.Wait() }
 func (c *Cluster) Close() error {
 	c.Quiesce()
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil
 	}
 	c.closed = true
-	if c.ownsTmp && c.tmpDir != "" {
-		c.ckptFiles = nil
-		return os.RemoveAll(c.tmpDir)
+	remote := make([]int64, 0, len(c.ckptRemote))
+	for id := range c.ckptRemote {
+		remote = append(remote, id)
 	}
-	for _, paths := range c.ckptFiles {
+	c.ckptRemote = nil
+	ownsTmp, tmpDir := c.ownsTmp, c.tmpDir
+	files := c.ckptFiles
+	c.ckptFiles = nil
+	c.mu.Unlock()
+	for _, id := range remote {
+		c.dropRemoteBlocks(id)
+	}
+	if ownsTmp && tmpDir != "" {
+		return os.RemoveAll(tmpDir)
+	}
+	for _, paths := range files {
 		removeCheckpointFiles(paths)
 	}
-	c.ckptFiles = nil
 	return nil
 }
 
@@ -434,15 +456,47 @@ func (c *Cluster) newID() int64 {
 // writeFileAtomic writes data to path via a unique temp file and rename, so
 // two speculative attempts racing on the same deterministic block path never
 // interleave partial writes — the loser's rename just reinstalls identical
-// bytes.
+// bytes. The temp file is fsynced before the rename: without it a crash
+// after the rename could leave the new name pointing at data the kernel never
+// flushed — a torn block that a later read (or a Resume) would trust. A
+// failed rename removes the temp file rather than leaking *.tmpN residue.
 //
 //distenc:accounted -- callers attribute the spill via countSpillWrite at the call site
 func (c *Cluster) writeFileAtomic(path string, data []byte) error {
 	tmp := fmt.Sprintf("%s.tmp%d", path, c.newID())
-	if err := os.WriteFile(tmp, data, 0o600); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o600)
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// writeFrameFileAtomic writes data to path as a single length-prefixed frame
+// (see ReadFrame), atomically. Spill blocks and checkpoint images go through
+// here so a torn file — truncated by a crash between write and flush — is
+// detected by the frame reader instead of being parsed as a shorter block.
+//
+//distenc:accounted -- callers attribute the spill via countSpillWrite at the call site
+func (c *Cluster) writeFrameFileAtomic(path string, data []byte) error {
+	return c.writeFileAtomic(path, AppendFrame(make([]byte, 0, 4+len(data)), data))
 }
 
 // charge reserves bytes on machine m, failing with ErrOutOfMemory if the

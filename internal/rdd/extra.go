@@ -1,6 +1,7 @@
 package rdd
 
 import (
+	"errors"
 	"fmt"
 	"math/rand/v2"
 	"os"
@@ -81,6 +82,9 @@ func Checkpoint[T any](r *RDD[T], name string) (*RDD[T], error) {
 	if err := r.ensureDeps(); err != nil {
 		return nil, err
 	}
+	if r.c.remote() != nil {
+		return checkpointRemote(r, name)
+	}
 	dir, err := r.c.checkpointDir()
 	if err != nil {
 		return nil, err
@@ -100,7 +104,7 @@ func Checkpoint[T any](r *RDD[T], name string) (*RDD[T], error) {
 		// Atomic write + commit-time install: speculative duplicate attempts
 		// may both write this deterministic path, and only the race winner
 		// publishes it to the driver-side paths slice.
-		if err := r.c.writeFileAtomic(path, data); err != nil {
+		if err := r.c.writeFrameFileAtomic(path, data); err != nil {
 			return fmt.Errorf("rdd: writing checkpoint: %w", err)
 		}
 		tc.countSpillWrite(int64(len(data)))
@@ -117,7 +121,7 @@ func Checkpoint[T any](r *RDD[T], name string) (*RDD[T], error) {
 		name:  name,
 		parts: r.parts,
 		compute: func(tc *TaskCtx, p int) ([]T, error) {
-			data, err := os.ReadFile(paths[p])
+			data, err := readFrameFile(paths[p])
 			if err != nil {
 				return nil, fmt.Errorf("rdd: reading checkpoint: %w", err)
 			}
@@ -128,6 +132,112 @@ func Checkpoint[T any](r *RDD[T], name string) (*RDD[T], error) {
 	}
 	out.cleanup = func() { r.c.dropCheckpoint(id) }
 	return out, nil
+}
+
+// checkpointRemote is Checkpoint under a remote Transport: each partition's
+// image is replicated to every live worker, which persists it to its local
+// data directory — the transport-level model of the replicated stable storage
+// the in-process backend models with driver-local files. A worker kill
+// destroys at most one replica, so reads fall through to the survivors; disk
+// traffic is counted once per partition on write (the replication pipeline is
+// a property of the storage system, not per-replica shuffle work) and once
+// per re-read, the same accounting as the file-backed path.
+func checkpointRemote[T any](r *RDD[T], name string) (*RDD[T], error) {
+	c := r.c
+	id := c.newID()
+	err := c.runStage("checkpoint:"+name, r.parts, func(tc *TaskCtx, p int) error {
+		items, err := r.computePartition(tc, p)
+		if err != nil {
+			return err
+		}
+		data, err := encodeBlock(items)
+		if err != nil {
+			return fmt.Errorf("rdd: encoding checkpoint: %w", err)
+		}
+		if err := c.putCheckpointReplicas(tc, id, p, data); err != nil {
+			return err
+		}
+		tc.countSpillWrite(int64(len(data)))
+		c.diskDelay(len(data))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.trackRemoteCheckpoint(id)
+	out := &RDD[T]{
+		c:     c,
+		name:  name,
+		parts: r.parts,
+		compute: func(tc *TaskCtx, p int) ([]T, error) {
+			data, err := c.fetchCheckpointReplica(id, p)
+			if err != nil {
+				return nil, err
+			}
+			tc.countSpillRead(int64(len(data)))
+			c.diskDelay(len(data))
+			return decodeBlock[T](data)
+		},
+	}
+	out.cleanup = func() { c.dropCheckpoint(id) }
+	return out, nil
+}
+
+// putCheckpointReplicas stores partition p's checkpoint image on every live
+// worker. A worker that dies mid-replication just loses its replica — the
+// machine is marked lost and skipped — but at least one replica must land or
+// the task fails (retryably if the failures were machine deaths).
+func (c *Cluster) putCheckpointReplicas(tc *TaskCtx, id int64, p int, data []byte) error {
+	rt := c.remote()
+	bid := BlockID{Kind: BlockCheckpoint, Owner: id, Map: int32(p)}
+	stored := 0
+	for m := 0; m < c.cfg.Machines; m++ {
+		if c.machineDead(m) {
+			continue
+		}
+		if err := rt.Put(m, bid, data); err != nil {
+			if errors.Is(err, ErrMachineUnreachable) {
+				c.machineLost(m, fmt.Sprintf("storing checkpoint replica %d/%d: %v", id, p, err))
+				continue
+			}
+			return fmt.Errorf("rdd: storing checkpoint replica %d/%d on machine %d: %w", id, p, m, err)
+		}
+		stored++
+	}
+	if stored == 0 {
+		return fmt.Errorf("rdd: no live worker accepted checkpoint %d partition %d: %w", id, p, errRetryable)
+	}
+	return nil
+}
+
+// fetchCheckpointReplica reads partition p's checkpoint image from any worker
+// that still holds a replica, starting at the partition's home machine. Dead
+// machines are skipped; a worker found unreachable here is marked lost and
+// the next replica is tried, so the read only fails once every replica is
+// gone.
+func (c *Cluster) fetchCheckpointReplica(id int64, p int) ([]byte, error) {
+	rt := c.remote()
+	bid := BlockID{Kind: BlockCheckpoint, Owner: id, Map: int32(p)}
+	mc := c.cfg.Machines
+	var lastErr error
+	for off := 0; off < mc; off++ {
+		m := (p + off) % mc
+		if c.machineDead(m) {
+			continue
+		}
+		data, err := rt.Fetch(m, bid)
+		if err == nil {
+			return data, nil
+		}
+		lastErr = err
+		if errors.Is(err, ErrMachineUnreachable) {
+			c.machineLost(m, fmt.Sprintf("fetching checkpoint replica %d/%d: %v", id, p, err))
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("all machines dead")
+	}
+	return nil, fmt.Errorf("rdd: no replica of checkpoint %d partition %d readable: %v: %w", id, p, lastErr, errRetryable)
 }
 
 // trackCheckpoint registers a checkpoint's files for deletion on Unpersist of
@@ -141,13 +251,44 @@ func (c *Cluster) trackCheckpoint(id int64, paths []string) {
 	c.ckptFiles[id] = paths
 }
 
-// dropCheckpoint deletes a checkpoint's files and forgets them.
+// trackRemoteCheckpoint registers a worker-held checkpoint for best-effort
+// Drop on Unpersist or Close.
+func (c *Cluster) trackRemoteCheckpoint(id int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ckptRemote == nil {
+		c.ckptRemote = map[int64]struct{}{}
+	}
+	c.ckptRemote[id] = struct{}{}
+}
+
+// dropCheckpoint deletes a checkpoint's files (or worker-held replicas) and
+// forgets them.
 func (c *Cluster) dropCheckpoint(id int64) {
 	c.mu.Lock()
 	paths := c.ckptFiles[id]
 	delete(c.ckptFiles, id)
+	_, remote := c.ckptRemote[id]
+	delete(c.ckptRemote, id)
 	c.mu.Unlock()
 	removeCheckpointFiles(paths)
+	if remote {
+		c.dropRemoteBlocks(id)
+	}
+}
+
+// dropRemoteBlocks asks every live worker to forget owner's blocks,
+// best-effort.
+func (c *Cluster) dropRemoteBlocks(owner int64) {
+	rt := c.remote()
+	if rt == nil {
+		return
+	}
+	for m := 0; m < c.cfg.Machines; m++ {
+		if !c.machineDead(m) {
+			rt.Drop(m, owner)
+		}
+	}
 }
 
 // removeCheckpointFiles best-effort deletes checkpoint block files.

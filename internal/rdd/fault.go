@@ -240,13 +240,30 @@ func (c *Cluster) killMachine(m int, cause string) {
 	if m < 0 || m >= c.cfg.Machines {
 		panic(fmt.Sprintf("rdd: KillMachine(%d) with %d machines", m, c.cfg.Machines))
 	}
-	mm := c.machines[m]
-	if mm.dead.Swap(true) {
+	if c.machines[m].dead.Swap(true) {
 		return
 	}
+	c.evictDeadMachine(m, cause)
+}
+
+// evictDeadMachine runs the kill's consequences once the dead flag is set:
+// under a remote Transport the worker process itself is killed first (so no
+// in-flight fetch can still succeed against a machine the engine considers
+// dead), then every registered storage holder evicts what the machine held.
+// Called synchronously by killMachine and on its own goroutine by
+// machineLost.
+func (c *Cluster) evictDeadMachine(m int, cause string) {
 	c.recordRecovery(RecoveryEvent{
 		Kind: RecoveryMachineKill, Machine: m, Partition: -1, Cause: cause,
 	})
+	if rt := c.remote(); rt != nil {
+		if err := rt.Kill(m); err != nil {
+			c.recordRecovery(RecoveryEvent{
+				Kind: RecoveryMachineKill, Machine: m, Partition: -1,
+				Cause: fmt.Sprintf("killing worker process: %v", err),
+			})
+		}
+	}
 	c.mu.Lock()
 	evictors := make([]machineEvictor, 0, len(c.evictors))
 	for _, e := range c.evictors {
@@ -258,6 +275,7 @@ func (c *Cluster) killMachine(m int, cause string) {
 	}
 	// Whatever charge remains (transients of in-flight tasks, unregistered
 	// holders) died with the machine.
+	mm := c.machines[m]
 	mm.mu.Lock()
 	mm.used = 0
 	mm.mu.Unlock()

@@ -51,7 +51,12 @@ func TestExactlyOnceMetricsUnderRetry(t *testing.T) {
 		for i := range pairs {
 			pairs[i] = KV[int, int]{i % 6, i}
 		}
-		red := ReduceByKey(Parallelize(c, "pairs", pairs, 6), "sums", 3, func(a, b int) int { return a + b })
+		// An explicit modulo partitioner, not the default HashPartitioner: its
+		// per-process maphash seed occasionally leaves partition 0 without any
+		// key, and the injected failure below must hit an attempt that already
+		// charged shuffle-read traffic.
+		mod := FuncPartitioner[int](func(k, parts int) int { return k % parts })
+		red := ReduceByKeyPartitioned(Parallelize(c, "pairs", pairs, 6), "sums", 3, mod, func(a, b int) int { return a + b })
 		var failed atomic.Bool
 		out := MapPartitions(red, "post", func(tc *TaskCtx, p int, in []KV[int, int]) ([]KV[int, int], error) {
 			// Fail one attempt after the shuffle fetch already charged disk

@@ -2,7 +2,6 @@ package rdd
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 	"sync"
 	"time"
@@ -34,8 +33,9 @@ type exchange[R any] struct {
 	// lost output wait on its channel instead of convoying on mu or
 	// recomputing the partition once per waiter.
 	mu       sync.Mutex
-	blocks   [][][]byte            // [mapPart][reducePart] (nil entries in disk mode)
+	blocks   [][][]byte            // [mapPart][reducePart] (nil entries in disk and remote modes)
 	files    [][]string            // paths in disk mode
+	lens     [][]int32             // [mapPart][reducePart] block sizes under a remote Transport (0: no block)
 	machines []int                 // machine whose memory holds map part p's output (-1: none)
 	lost     []bool                // map outputs evicted by a machine kill, pending recompute
 	inflight map[int]chan struct{} // map partitions being recomputed right now
@@ -114,6 +114,7 @@ func (e *exchange[R]) ensure() error {
 		e.mu.Lock()
 		e.blocks = make([][][]byte, e.mapParts)
 		e.files = make([][]string, e.mapParts)
+		e.lens = make([][]int32, e.mapParts)
 		e.machines = make([]int, e.mapParts)
 		for p := range e.machines {
 			e.machines[p] = -1
@@ -140,13 +141,24 @@ func (e *exchange[R]) ensure() error {
 						continue
 					}
 					path := filepath.Join(e.c.tmpDir, fmt.Sprintf("ex%d-m%d-r%d.blk", e.id, p, rp))
-					if err := e.c.writeFileAtomic(path, data); err != nil {
+					if err := e.c.writeFrameFileAtomic(path, data); err != nil {
 						return fmt.Errorf("rdd: spilling shuffle block: %w", err)
 					}
 					tc.countSpillWrite(int64(len(data)))
 					e.c.diskDelay(len(data))
 					paths[rp] = path
 					enc[rp] = nil // spilled: no in-memory copy to lose
+				}
+			}
+			// Under a remote Transport the bucket bytes move to the producing
+			// machine's worker process; the driver keeps only their lengths
+			// (presence metadata for the reduce side). Speculative duplicate
+			// attempts store identical bytes under the same IDs on their own
+			// machines; machines[p] below decides which copy is ever fetched.
+			var lens []int32
+			if e.c.remote() != nil && e.c.cfg.Mode != ModeMapReduce {
+				if lens, err = e.putBlocks(tc, p, enc); err != nil {
+					return err
 				}
 			}
 			// Publish on commit only: under speculative execution two
@@ -157,6 +169,7 @@ func (e *exchange[R]) ensure() error {
 				e.mu.Lock()
 				e.blocks[p] = enc
 				e.files[p] = paths
+				e.lens[p] = lens
 				e.machines[p] = tc.Machine
 				e.lost[p] = false
 				e.mu.Unlock()
@@ -167,18 +180,73 @@ func (e *exchange[R]) ensure() error {
 	return e.err
 }
 
+// putBlocks stores one map partition's encoded buckets on the producing
+// machine's worker and returns their lengths, nilling the driver-side copies
+// as it goes (the worker holds the only copy, exactly as a real executor
+// would). An unreachable worker means the task's own machine died under it;
+// the resulting retryable error re-places the task elsewhere.
+func (e *exchange[R]) putBlocks(tc *TaskCtx, mp int, enc [][]byte) ([]int32, error) {
+	rt := e.c.remote()
+	lens := make([]int32, e.reduceParts)
+	for rp, data := range enc {
+		if data == nil {
+			continue
+		}
+		id := BlockID{Kind: BlockShuffle, Owner: e.id, Map: int32(mp), Reduce: int32(rp)}
+		if err := rt.Put(tc.Machine, id, data); err != nil {
+			return nil, e.c.transportTaskErr(tc.Machine, fmt.Sprintf("storing shuffle %s block %d/%d", e.name, mp, rp), err)
+		}
+		lens[rp] = int32(len(data))
+		enc[rp] = nil
+	}
+	return lens, nil
+}
+
 // blockFor returns map part mp's encoded bucket for reduce partition rp in
 // ModeInMemory, recomputing the whole map partition from lineage first if a
 // machine kill evicted it — Spark's FetchFailed → parent-stage re-execution,
 // collapsed into the fetching task (which pays and records the recompute).
 // Exactly one fetcher recomputes a given lost output; concurrent fetchers
-// wait for it and re-check, and e.mu is never held across the recompute.
+// wait for it and re-check, and e.mu is never held across the recompute (or,
+// under a remote Transport, across any network fetch).
 func (e *exchange[R]) blockFor(tc *TaskCtx, mp, rp int) ([]byte, error) {
+	rt := e.c.remote()
 	for {
 		e.mu.Lock()
 		if !e.lost[mp] {
-			data := e.blocks[mp][rp]
+			if rt == nil {
+				data := e.blocks[mp][rp]
+				e.mu.Unlock()
+				return data, nil
+			}
+			m := e.machines[mp]
+			if m < 0 || e.c.machineDead(m) {
+				// machineLost runs eviction asynchronously; don't burn a
+				// fetch (and a task retry) on a machine already known dead —
+				// flag the output lost ourselves and fall through to the
+				// recompute path.
+				e.blocks[mp] = nil
+				e.machines[mp] = -1
+				e.lost[mp] = true
+				e.mu.Unlock()
+				continue
+			}
+			n := int32(0)
+			if e.lens[mp] != nil {
+				n = e.lens[mp][rp]
+			}
 			e.mu.Unlock()
+			if n == 0 {
+				return nil, nil
+			}
+			id := BlockID{Kind: BlockShuffle, Owner: e.id, Map: int32(mp), Reduce: int32(rp)}
+			data, err := rt.Fetch(m, id)
+			if err != nil {
+				return nil, e.c.transportTaskErr(m, fmt.Sprintf("fetching shuffle %s block %d/%d", e.name, mp, rp), err)
+			}
+			if int32(len(data)) != n {
+				return nil, fmt.Errorf("rdd: shuffle %s block %d/%d: fetched %d bytes, want %d", e.name, mp, rp, len(data), n)
+			}
 			return data, nil
 		}
 		if ch, ok := e.inflight[mp]; ok {
@@ -196,11 +264,21 @@ func (e *exchange[R]) blockFor(tc *TaskCtx, mp, rp int) ([]byte, error) {
 		e.mu.Unlock()
 
 		enc, err := e.recompute(tc, mp)
+		// Under a remote Transport the recomputed buckets move to the
+		// recomputing task's worker before publication; the bucket we return
+		// below is the in-hand copy, so the common case costs no re-fetch.
+		var lens []int32
+		var out []byte
+		if err == nil && rt != nil {
+			out = enc[rp]
+			lens, err = e.putBlocks(tc, mp, enc)
+		}
 
 		e.mu.Lock()
 		delete(e.inflight, mp)
 		if err == nil {
 			e.blocks[mp] = enc
+			e.lens[mp] = lens
 			e.machines[mp] = tc.Machine
 			e.lost[mp] = false
 		}
@@ -208,6 +286,9 @@ func (e *exchange[R]) blockFor(tc *TaskCtx, mp, rp int) ([]byte, error) {
 		close(ch)
 		if err != nil {
 			return nil, err
+		}
+		if rt != nil {
+			return out, nil
 		}
 		return enc[rp], nil
 	}
@@ -267,7 +348,7 @@ func (e *exchange[R]) fetch(tc *TaskCtx, rp int) ([]R, error) {
 				continue
 			}
 			var err error
-			data, err = os.ReadFile(e.files[mp][rp])
+			data, err = readFrameFile(e.files[mp][rp])
 			if err != nil {
 				return nil, fmt.Errorf("rdd: reading spilled shuffle block: %w", err)
 			}

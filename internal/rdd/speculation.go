@@ -202,7 +202,7 @@ func (st *stageState) addSpecLaunch(p, m int, elapsed, cutoff time.Duration) {
 		Machine:   m,
 		Attempt:   speculativeAttempt,
 		Cause:     fmt.Sprintf("task running %v, over speculation cutoff %v; backup launched", elapsed, cutoff),
-		At:        time.Now().Sub(st.c.start),
+		At:        time.Since(st.c.start),
 	}
 	st.mu.Lock()
 	if !st.closed {

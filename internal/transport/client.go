@@ -1,0 +1,553 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"distenc/internal/rdd"
+)
+
+// Options tunes the TCP transport client.
+type Options struct {
+	// PoolSize is the number of pooled connections per worker (default 2).
+	// Each connection pipelines: requests from many tasks are in flight at
+	// once and responses stream back in order.
+	PoolSize int
+	// MaxFrame caps accepted frame sizes (default rdd.DefaultMaxFrame).
+	MaxFrame int
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+	// CallTimeout bounds one request/response round trip (default 60s). A
+	// worker that stalls past it is treated as unreachable.
+	CallTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.PoolSize <= 0 {
+		o.PoolSize = 2
+	}
+	if o.MaxFrame <= 0 {
+		o.MaxFrame = rdd.DefaultMaxFrame
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.CallTimeout <= 0 {
+		o.CallTimeout = 60 * time.Second
+	}
+	return o
+}
+
+// Client implements rdd.Transport over TCP: one pooled, pipelined connection
+// set per worker. It is safe for concurrent use by every task goroutine.
+type Client struct {
+	opts    Options
+	workers []*worker
+}
+
+// unreachableErr wraps a connection-level failure as the sentinel the engine
+// maps to machine death.
+func unreachableErr(addr string, err error) error {
+	return fmt.Errorf("%w: worker %s: %v", rdd.ErrMachineUnreachable, addr, err)
+}
+
+// worker is the client's view of one worker process: its address, the pooled
+// connections, and — for spawned workers — the child process to reap.
+type worker struct {
+	opts    Options
+	addr    string
+	cmd     *exec.Cmd // non-nil when this client spawned the process
+	dataDir string    // temp dir created for a spawned worker
+	// lifeline is the write end of a pipe wired to a spawned worker's stdin.
+	// It is held open for the driver's whole life and never written: when
+	// this process dies — even through os.Exit paths that skip deferred
+	// Closes — the kernel closes it, the worker reads EOF and shuts itself
+	// down instead of lingering as an orphan.
+	lifeline *os.File
+	killed   atomic.Bool
+	reap     sync.Once
+
+	mu    sync.Mutex
+	conns []*pipeConn
+	next  int
+}
+
+// conn returns a live pooled connection, dialing lazily.
+func (w *worker) conn() (*pipeConn, error) {
+	if w.killed.Load() {
+		return nil, unreachableErr(w.addr, errors.New("worker killed"))
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for i := 0; i < len(w.conns); i++ {
+		w.next = (w.next + 1) % len(w.conns)
+		if c := w.conns[w.next]; c != nil && !c.isDead() {
+			return c, nil
+		}
+	}
+	c, err := dialWorker(w.addr, w.opts)
+	if err != nil {
+		return nil, err
+	}
+	w.conns[w.next] = c
+	return c, nil
+}
+
+// closeConns tears down every pooled connection (failing their in-flight
+// calls with err when non-nil).
+func (w *worker) closeConns(err error) {
+	w.mu.Lock()
+	conns := w.conns
+	w.conns = make([]*pipeConn, len(conns))
+	w.mu.Unlock()
+	for _, c := range conns {
+		if c != nil {
+			if err != nil {
+				c.fail(err)
+			} else {
+				c.nc.Close()
+			}
+		}
+	}
+}
+
+// call is one result of a pipelined request, delivered by the read loop.
+type callResult struct {
+	status  uint8
+	payload []byte
+	err     error
+}
+
+type call struct {
+	reqID uint64
+	ch    chan callResult
+}
+
+// pipeConn is one pipelined connection, modeled on Codis's backend
+// connection: writers append a call to the FIFO and write the request frame
+// under the write lock (so queue order equals wire order); a single read
+// loop matches responses to calls in order.
+type pipeConn struct {
+	nc       net.Conn
+	bw       *bufio.Writer
+	br       *bufio.Reader
+	maxFrame int
+
+	wmu sync.Mutex // serializes enqueue+write so FIFO order matches the wire
+
+	qmu     sync.Mutex
+	pending []*call
+	dead    bool
+	err     error
+	nextID  uint64
+}
+
+func dialWorker(addr string, opts Options) (*pipeConn, error) {
+	nc, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+	if err != nil {
+		return nil, unreachableErr(addr, err)
+	}
+	c := &pipeConn{
+		nc:       nc,
+		bw:       bufio.NewWriterSize(nc, 64<<10),
+		br:       bufio.NewReaderSize(nc, 64<<10),
+		maxFrame: opts.MaxFrame,
+	}
+	nc.SetDeadline(time.Now().Add(opts.DialTimeout))
+	if err := rdd.WriteFrame(c.bw, helloFrame); err == nil {
+		err = c.bw.Flush()
+	} else {
+		nc.Close()
+		return nil, unreachableErr(addr, err)
+	}
+	hello, err := rdd.ReadFrame(c.br, 16)
+	if err != nil || !bytes.Equal(hello, helloFrame) {
+		nc.Close()
+		return nil, unreachableErr(addr, fmt.Errorf("bad hello: %v", err))
+	}
+	nc.SetDeadline(time.Time{})
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *pipeConn) isDead() bool {
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
+	return c.dead
+}
+
+// fail marks the connection dead, closes it, and delivers err to every
+// pending call. Idempotent.
+func (c *pipeConn) fail(err error) {
+	c.qmu.Lock()
+	if c.dead {
+		c.qmu.Unlock()
+		return
+	}
+	c.dead = true
+	c.err = err
+	pend := c.pending
+	c.pending = nil
+	c.qmu.Unlock()
+	c.nc.Close()
+	for _, cl := range pend {
+		cl.ch <- callResult{err: err}
+	}
+}
+
+func (c *pipeConn) readLoop() {
+	for {
+		frame, err := rdd.ReadFrame(c.br, c.maxFrame)
+		if err != nil {
+			c.fail(fmt.Errorf("transport: connection lost: %w", err))
+			return
+		}
+		reqID, status, payload, err := parseResponse(frame)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.qmu.Lock()
+		if len(c.pending) == 0 {
+			c.qmu.Unlock()
+			c.fail(fmt.Errorf("transport: unsolicited response %d", reqID))
+			return
+		}
+		cl := c.pending[0]
+		c.pending = c.pending[1:]
+		c.qmu.Unlock()
+		if cl.reqID != reqID {
+			mismatch := fmt.Errorf("transport: response %d for request %d (pipeline desync)", reqID, cl.reqID)
+			cl.ch <- callResult{err: mismatch}
+			c.fail(mismatch)
+			return
+		}
+		cl.ch <- callResult{status: status, payload: payload}
+	}
+}
+
+// roundTrip sends one request and waits for its response (or timeout, which
+// condemns the whole connection — a one-request stall means the server-side
+// sequential handler is stuck, so everything queued behind it is too).
+func (c *pipeConn) roundTrip(req request, payload []byte, timeout time.Duration) (uint8, []byte, error) {
+	c.wmu.Lock()
+	c.qmu.Lock()
+	if c.dead {
+		err := c.err
+		c.qmu.Unlock()
+		c.wmu.Unlock()
+		return 0, nil, err
+	}
+	c.nextID++
+	req.reqID = c.nextID
+	cl := &call{reqID: req.reqID, ch: make(chan callResult, 1)}
+	c.pending = append(c.pending, cl)
+	c.qmu.Unlock()
+	frame := appendRequest(make([]byte, 0, reqHeaderLen+len(payload)), req, payload)
+	err := rdd.WriteFrame(c.bw, frame)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.fail(err)
+		// fail delivered to our call too; drain it so the channel is settled.
+		<-cl.ch
+		return 0, nil, err
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case res := <-cl.ch:
+		return res.status, res.payload, res.err
+	case <-timer.C:
+		c.fail(fmt.Errorf("transport: request timed out after %v", timeout))
+		res := <-cl.ch
+		if res.err != nil {
+			return 0, nil, res.err
+		}
+		return res.status, res.payload, nil
+	}
+}
+
+// oneWay writes a request without reserving a response slot (opDie: the
+// server exits instead of answering).
+func (c *pipeConn) oneWay(req request) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	frame := appendRequest(make([]byte, 0, reqHeaderLen), req, nil)
+	if rdd.WriteFrame(c.bw, frame) == nil {
+		c.bw.Flush()
+	}
+}
+
+// call performs one round trip against worker m, classifying every
+// connection-level failure as the machine being unreachable.
+func (t *Client) call(m int, op uint8, id rdd.BlockID, payload []byte) (uint8, []byte, error) {
+	if m < 0 || m >= len(t.workers) {
+		return 0, nil, fmt.Errorf("transport: no worker %d (have %d)", m, len(t.workers))
+	}
+	w := t.workers[m]
+	c, err := w.conn()
+	if err != nil {
+		return 0, nil, err
+	}
+	req := request{op: op, kind: uint8(id.Kind), owner: id.Owner, mapP: id.Map, reduce: id.Reduce}
+	status, resp, err := c.roundTrip(req, payload, t.opts.CallTimeout)
+	if err != nil {
+		if errors.Is(err, rdd.ErrMachineUnreachable) {
+			return 0, nil, err
+		}
+		return 0, nil, unreachableErr(w.addr, err)
+	}
+	return status, resp, nil
+}
+
+// Workers reports how many workers the client fronts.
+func (t *Client) Workers() int { return len(t.workers) }
+
+// Put stores a block image on worker m.
+func (t *Client) Put(m int, id rdd.BlockID, data []byte) error {
+	status, resp, err := t.call(m, opPut, id, data)
+	if err != nil {
+		return err
+	}
+	if status != stOK {
+		return fmt.Errorf("transport: put %v on worker %d: %s", id, m, resp)
+	}
+	return nil
+}
+
+// Fetch returns a block image from worker m.
+func (t *Client) Fetch(m int, id rdd.BlockID) ([]byte, error) {
+	status, resp, err := t.call(m, opGet, id, nil)
+	if err != nil {
+		return nil, err
+	}
+	switch status {
+	case stOK:
+		return resp, nil
+	case stNotFound:
+		return nil, fmt.Errorf("%w: %v on worker %d", rdd.ErrBlockNotFound, id, m)
+	default:
+		return nil, fmt.Errorf("transport: fetch %v from worker %d: %s", id, m, resp)
+	}
+}
+
+// Drop asks worker m to forget owner's blocks, best-effort.
+func (t *Client) Drop(m int, owner int64) {
+	t.call(m, opDrop, rdd.BlockID{Owner: owner}, nil)
+}
+
+// Ping round-trips a liveness probe to worker m.
+func (t *Client) Ping(m int) error {
+	status, resp, err := t.call(m, opPing, rdd.BlockID{}, nil)
+	if err != nil {
+		return err
+	}
+	if status != stOK {
+		return fmt.Errorf("transport: ping worker %d: %s", m, resp)
+	}
+	return nil
+}
+
+// Kill terminates worker m's process: SIGKILL for spawned workers (the
+// crash KillMachine models), a fire-and-forget die request for external
+// ones. Idempotent; subsequent Puts/Fetches fail fast as unreachable.
+func (t *Client) Kill(m int) error {
+	if m < 0 || m >= len(t.workers) {
+		return fmt.Errorf("transport: no worker %d (have %d)", m, len(t.workers))
+	}
+	w := t.workers[m]
+	if w.killed.Swap(true) {
+		return nil
+	}
+	if w.cmd != nil {
+		w.cmd.Process.Kill()
+		w.reap.Do(func() { w.cmd.Wait() })
+		if w.lifeline != nil {
+			w.lifeline.Close()
+		}
+	} else if c, err := dialWorker(w.addr, w.opts); err == nil {
+		c.oneWay(request{op: opDie})
+		c.nc.Close()
+	}
+	w.closeConns(unreachableErr(w.addr, errors.New("worker killed")))
+	return nil
+}
+
+// Close shuts the transport down: connections close, spawned workers get
+// SIGTERM (graceful drain), then SIGKILL after a grace period, and their
+// scratch directories are removed. External workers are left running.
+func (t *Client) Close() error {
+	var firstErr error
+	for _, w := range t.workers {
+		w.closeConns(nil)
+		if w.cmd != nil && !w.killed.Swap(true) {
+			w.cmd.Process.Signal(syscall.SIGTERM)
+			done := make(chan struct{})
+			go func(w *worker) {
+				w.reap.Do(func() { w.cmd.Wait() })
+				close(done)
+			}(w)
+			select {
+			case <-done:
+			case <-time.After(5 * time.Second):
+				w.cmd.Process.Kill()
+				<-done
+			}
+		}
+		if w.lifeline != nil {
+			w.lifeline.Close()
+		}
+		if w.dataDir != "" {
+			if err := os.RemoveAll(w.dataDir); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// Addrs returns each worker's address, index-aligned with machine IDs.
+func (t *Client) Addrs() []string {
+	addrs := make([]string, len(t.workers))
+	for i, w := range t.workers {
+		addrs[i] = w.addr
+	}
+	return addrs
+}
+
+// DialWorkers connects to n already-running distenc-worker daemons and
+// verifies each with a ping. The workers are index-aligned with the
+// cluster's machine IDs.
+func DialWorkers(addrs []string, opts Options) (*Client, error) {
+	opts = opts.withDefaults()
+	t := &Client{opts: opts}
+	for _, addr := range addrs {
+		t.workers = append(t.workers, &worker{
+			opts:  opts,
+			addr:  addr,
+			conns: make([]*pipeConn, opts.PoolSize),
+		})
+	}
+	for m := range t.workers {
+		if err := t.Ping(m); err != nil {
+			t.Close()
+			return nil, fmt.Errorf("transport: worker %d (%s) not answering: %w", m, addrs[m], err)
+		}
+	}
+	return t, nil
+}
+
+// StartWorkers spawns n worker processes by re-execing the current binary
+// (which must call WorkerHook early in main or TestMain) and returns a
+// client connected to them. Each worker listens on an ephemeral localhost
+// port and gets its own scratch directory for checkpoint blocks; Close tears
+// everything down.
+func StartWorkers(n int, opts Options) (*Client, error) {
+	opts = opts.withDefaults()
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("transport: locating own binary: %w", err)
+	}
+	t := &Client{opts: opts}
+	for i := 0; i < n; i++ {
+		w, err := spawnWorker(exe, opts)
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("transport: spawning worker %d: %w", i, err)
+		}
+		t.workers = append(t.workers, w)
+	}
+	return t, nil
+}
+
+// spawnWorker launches one worker process and waits for its LISTEN line.
+func spawnWorker(exe string, opts Options) (*worker, error) {
+	dataDir, err := os.MkdirTemp("", "distenc-worker-")
+	if err != nil {
+		return nil, err
+	}
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		os.RemoveAll(dataDir)
+		return nil, err
+	}
+	lr, lw, err := os.Pipe()
+	if err != nil {
+		pr.Close()
+		pw.Close()
+		os.RemoveAll(dataDir)
+		return nil, err
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), envListen+"=127.0.0.1:0", envData+"="+dataDir, envLifeline+"=1")
+	cmd.Stdin = lr // lifeline: EOF here tells the worker its driver is gone
+	cmd.Stdout = pw
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		pr.Close()
+		pw.Close()
+		lr.Close()
+		lw.Close()
+		os.RemoveAll(dataDir)
+		return nil, err
+	}
+	pw.Close() // child holds the write end now
+	lr.Close() // and the lifeline's read end
+
+	addrCh := make(chan string, 1)
+	go func() {
+		defer pr.Close()
+		sc := bufio.NewScanner(pr)
+		reported := false
+		for sc.Scan() {
+			line := sc.Text()
+			if !reported && len(line) > len(listenLinePrefix) && line[:len(listenLinePrefix)] == listenLinePrefix {
+				addrCh <- line[len(listenLinePrefix):]
+				reported = true
+				// Keep draining so the worker's stdout never blocks.
+			}
+		}
+		if !reported {
+			close(addrCh)
+		}
+	}()
+
+	var addr string
+	select {
+	case a, ok := <-addrCh:
+		if !ok {
+			cmd.Process.Kill()
+			cmd.Wait()
+			lw.Close()
+			os.RemoveAll(dataDir)
+			return nil, errors.New("worker exited before reporting its address")
+		}
+		addr = a
+	case <-time.After(20 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		lw.Close()
+		os.RemoveAll(dataDir)
+		return nil, errors.New("timed out waiting for worker to report its address")
+	}
+	return &worker{
+		opts:     opts,
+		addr:     addr,
+		cmd:      cmd,
+		dataDir:  dataDir,
+		lifeline: lw,
+		conns:    make([]*pipeConn, opts.PoolSize),
+	}, nil
+}

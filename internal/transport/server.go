@@ -1,0 +1,292 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"distenc/internal/rdd"
+)
+
+// blockKey identifies one stored block, mirroring rdd.BlockID.
+type blockKey struct {
+	kind   uint8
+	owner  int64
+	mapP   int32
+	reduce int32
+}
+
+// Server is one worker's block store behind a TCP listener: volatile blocks
+// (shuffle buckets, broadcast replicas) live in memory and die with the
+// process; checkpoint blocks are fsynced to the data directory — the worker's
+// local slice of the modeled stable storage — when one is configured.
+//
+// Connection handling follows the Codis backend-connection shape: one
+// goroutine per accepted connection reads framed requests in a loop, handles
+// them in order, and writes framed responses through a buffered writer that
+// is flushed only when no further request is already buffered — so a client
+// that pipelines N requests pays one flush, not N.
+type Server struct {
+	ln       net.Listener
+	dataDir  string
+	maxFrame int
+	// allowDie permits the opDie request to terminate the process; only
+	// RunWorker (a dedicated worker process) enables it, so an in-process
+	// Server in a test can never exit the test binary.
+	allowDie bool
+
+	mu      sync.Mutex
+	mem     map[blockKey][]byte
+	files   map[blockKey]string
+	conns   map[net.Conn]struct{}
+	closed  bool
+	nextFID int
+
+	wg sync.WaitGroup
+}
+
+// NewServer listens on addr (e.g. "127.0.0.1:0") and serves a block store.
+// dataDir, when non-empty, is where checkpoint blocks are persisted; empty
+// keeps every kind in memory. Call Serve to start accepting.
+func NewServer(addr, dataDir string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &Server{
+		ln:       ln,
+		dataDir:  dataDir,
+		maxFrame: rdd.DefaultMaxFrame,
+		mem:      map[blockKey][]byte{},
+		files:    map[blockKey]string{},
+		conns:    map[net.Conn]struct{}{},
+	}, nil
+}
+
+// Addr returns the listener's address ("host:port").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Serve accepts connections until Shutdown closes the listener. It returns
+// nil after a graceful shutdown.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("transport: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(conn)
+	}
+}
+
+// Shutdown drains the server gracefully: stop accepting, let every
+// connection finish the request it is handling, then close. Idle connections
+// blocked reading their next request are unblocked via a read deadline.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	s.ln.Close()
+	for conn := range s.conns {
+		// Interrupts only the blocked read of the NEXT request; a request
+		// mid-handling completes and its response is flushed before the
+		// handler notices the deadline.
+		conn.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	conn.Close()
+	s.wg.Done()
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.dropConn(conn)
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+
+	// Hello exchange: reject strangers before trusting length prefixes.
+	hello, err := rdd.ReadFrame(br, 16)
+	if err != nil || !bytes.Equal(hello, helloFrame) {
+		return
+	}
+	if err := rdd.WriteFrame(bw, helloFrame); err != nil || bw.Flush() != nil {
+		return
+	}
+
+	var respBuf []byte
+	for {
+		frame, err := rdd.ReadFrame(br, s.maxFrame)
+		if err != nil {
+			return // EOF, torn frame, or the shutdown read deadline
+		}
+		req, payload, err := parseRequest(frame)
+		if err != nil {
+			return
+		}
+		if req.op == opDie {
+			if s.allowDie {
+				os.Exit(3) // abrupt, crash-like: no response, no drain
+			}
+			return // in-process servers treat die as a connection close
+		}
+		respBuf = s.handle(req, payload, respBuf[:0])
+		if err := rdd.WriteFrame(bw, respBuf); err != nil {
+			return
+		}
+		// Pipelining-friendly flush: only when no further request is already
+		// waiting in the read buffer.
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+		if req.op == opDrain {
+			return
+		}
+	}
+}
+
+// handle executes one request against the store and appends the response to
+// buf.
+func (s *Server) handle(req request, payload, buf []byte) []byte {
+	key := blockKey{kind: req.kind, owner: req.owner, mapP: req.mapP, reduce: req.reduce}
+	switch req.op {
+	case opPing, opDrain:
+		return appendResponse(buf, req.reqID, stOK, nil)
+	case opPut:
+		if err := s.put(key, payload); err != nil {
+			return appendResponse(buf, req.reqID, stError, []byte(err.Error()))
+		}
+		return appendResponse(buf, req.reqID, stOK, nil)
+	case opGet:
+		data, ok, err := s.get(key)
+		if err != nil {
+			return appendResponse(buf, req.reqID, stError, []byte(err.Error()))
+		}
+		if !ok {
+			return appendResponse(buf, req.reqID, stNotFound, nil)
+		}
+		return appendResponse(buf, req.reqID, stOK, data)
+	case opDrop:
+		s.drop(req.owner)
+		return appendResponse(buf, req.reqID, stOK, nil)
+	default:
+		return appendResponse(buf, req.reqID, stError, fmt.Appendf(nil, "unknown op %d", req.op))
+	}
+}
+
+func (s *Server) put(key blockKey, data []byte) error {
+	if key.kind == uint8(rdd.BlockCheckpoint) && s.dataDir != "" {
+		return s.putStable(key, data)
+	}
+	cp := append([]byte(nil), data...) // payload aliases the read buffer
+	s.mu.Lock()
+	s.mem[key] = cp
+	s.mu.Unlock()
+	return nil
+}
+
+// putStable persists a checkpoint block to the worker's data directory,
+// framed (torn-write detection on read) and fsynced (a crash right after the
+// put must not lose a block the driver already counts as checkpointed).
+func (s *Server) putStable(key blockKey, data []byte) error {
+	s.mu.Lock()
+	s.nextFID++
+	tmp := filepath.Join(s.dataDir, fmt.Sprintf("put%d.tmp", s.nextFID))
+	path := filepath.Join(s.dataDir, fmt.Sprintf("ck%d-p%d.blk", key.owner, key.mapP))
+	s.mu.Unlock()
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o600)
+	if err != nil {
+		return err
+	}
+	err = rdd.WriteFrame(f, data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	s.mu.Lock()
+	s.files[key] = path
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *Server) get(key blockKey) ([]byte, bool, error) {
+	s.mu.Lock()
+	if data, ok := s.mem[key]; ok {
+		s.mu.Unlock()
+		return data, true, nil
+	}
+	path, ok := s.files[key]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	data, err := rdd.ReadFrame(bufio.NewReader(f), s.maxFrame)
+	if err != nil {
+		return nil, false, fmt.Errorf("torn checkpoint block %s: %w", path, err)
+	}
+	return data, true, nil
+}
+
+func (s *Server) drop(owner int64) {
+	s.mu.Lock()
+	var paths []string
+	for key := range s.mem {
+		if key.owner == owner {
+			delete(s.mem, key)
+		}
+	}
+	for key, path := range s.files {
+		if key.owner == owner {
+			delete(s.files, key)
+			paths = append(paths, path)
+		}
+	}
+	s.mu.Unlock()
+	for _, p := range paths {
+		os.Remove(p)
+	}
+}

@@ -1,0 +1,366 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"distenc/internal/rdd"
+)
+
+// TestMain lets StartWorkers re-exec this very test binary as its worker
+// processes: with the env set, WorkerHook serves and exits before any test
+// runs.
+func TestMain(m *testing.M) {
+	WorkerHook()
+	os.Exit(m.Run())
+}
+
+// startServer runs one in-process Server and returns a client fronting it.
+func startServer(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	s, err := NewServer("127.0.0.1:0", t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve()
+	t.Cleanup(s.Shutdown)
+	cl, err := DialWorkers([]string{s.Addr()}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return s, cl
+}
+
+func TestPutFetchRoundTrip(t *testing.T) {
+	_, cl := startServer(t)
+	for _, kind := range []rdd.BlockKind{rdd.BlockShuffle, rdd.BlockBroadcast, rdd.BlockCheckpoint} {
+		id := rdd.BlockID{Kind: kind, Owner: 42, Map: 3, Reduce: 1}
+		want := bytes.Repeat([]byte{byte(kind)}, 10_000)
+		if err := cl.Put(0, id, want); err != nil {
+			t.Fatalf("put kind %d: %v", kind, err)
+		}
+		got, err := cl.Fetch(0, id)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("fetch kind %d: %v (got %d bytes, want %d)", kind, err, len(got), len(want))
+		}
+	}
+}
+
+func TestFetchMissingBlock(t *testing.T) {
+	_, cl := startServer(t)
+	_, err := cl.Fetch(0, rdd.BlockID{Kind: rdd.BlockShuffle, Owner: 7})
+	if !errors.Is(err, rdd.ErrBlockNotFound) {
+		t.Fatalf("got %v, want rdd.ErrBlockNotFound", err)
+	}
+}
+
+func TestDropForgetsOwner(t *testing.T) {
+	_, cl := startServer(t)
+	keep := rdd.BlockID{Kind: rdd.BlockShuffle, Owner: 1}
+	gone := rdd.BlockID{Kind: rdd.BlockCheckpoint, Owner: 2}
+	if err := cl.Put(0, keep, []byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Put(0, gone, []byte("gone")); err != nil {
+		t.Fatal(err)
+	}
+	cl.Drop(0, 2)
+	if _, err := cl.Fetch(0, keep); err != nil {
+		t.Fatalf("unrelated owner dropped too: %v", err)
+	}
+	if _, err := cl.Fetch(0, gone); !errors.Is(err, rdd.ErrBlockNotFound) {
+		t.Fatalf("got %v, want rdd.ErrBlockNotFound after drop", err)
+	}
+}
+
+func TestCheckpointBlockPersistedToDisk(t *testing.T) {
+	dataDir := t.TempDir()
+	s, err := NewServer("127.0.0.1:0", dataDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve()
+	defer s.Shutdown()
+	cl, err := DialWorkers([]string{s.Addr()}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	id := rdd.BlockID{Kind: rdd.BlockCheckpoint, Owner: 9, Map: 4}
+	want := bytes.Repeat([]byte{0xEE}, 2048)
+	if err := cl.Put(0, id, want); err != nil {
+		t.Fatal(err)
+	}
+	// The image must be on disk as a framed file, fsynced under the
+	// deterministic name the data directory uses.
+	raw, err := os.ReadFile(filepath.Join(dataDir, "ck9-p4.blk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, rdd.AppendFrame(nil, want)) {
+		t.Fatal("on-disk checkpoint block is not the framed image")
+	}
+	got, err := cl.Fetch(0, id)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("fetch after durable put: %v", err)
+	}
+}
+
+func TestPipelinedConcurrentCalls(t *testing.T) {
+	// One connection (PoolSize 1) carrying many interleaved requests from
+	// many goroutines: responses must match requests through the FIFO.
+	s, err := NewServer("127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve()
+	defer s.Shutdown()
+	cl, err := DialWorkers([]string{s.Addr()}, Options{PoolSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const N = 64
+	var wg sync.WaitGroup
+	errs := make(chan error, N)
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := rdd.BlockID{Kind: rdd.BlockShuffle, Owner: int64(i), Map: int32(i)}
+			want := bytes.Repeat([]byte{byte(i)}, 100+i*37)
+			if err := cl.Put(0, id, want); err != nil {
+				errs <- err
+				return
+			}
+			got, err := cl.Fetch(0, id)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(got, want) {
+				errs <- fmt.Errorf("call %d: response mismatch (%d bytes, want %d)", i, len(got), len(want))
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestSpawnedWorkersRoundTrip(t *testing.T) {
+	cl, err := StartWorkers(2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if cl.Workers() != 2 {
+		t.Fatalf("Workers() = %d, want 2", cl.Workers())
+	}
+	for m := 0; m < 2; m++ {
+		id := rdd.BlockID{Kind: rdd.BlockShuffle, Owner: 5, Map: int32(m)}
+		want := bytes.Repeat([]byte{byte(m + 1)}, 5000)
+		if err := cl.Put(m, id, want); err != nil {
+			t.Fatalf("put to worker %d: %v", m, err)
+		}
+		got, err := cl.Fetch(m, id)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("fetch from worker %d: %v", m, err)
+		}
+	}
+}
+
+func TestKillMakesWorkerUnreachable(t *testing.T) {
+	cl, err := StartWorkers(2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	id := rdd.BlockID{Kind: rdd.BlockShuffle, Owner: 11}
+	if err := cl.Put(1, id, []byte("on the doomed worker")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Kill(1); err != nil {
+		t.Fatal(err)
+	}
+	// Every path to the dead worker — fetch of an existing block, fresh put,
+	// ping — must surface the retryable unreachable sentinel, not hang or
+	// return a hard error.
+	if _, err := cl.Fetch(1, id); !errors.Is(err, rdd.ErrMachineUnreachable) {
+		t.Fatalf("fetch after kill: got %v, want rdd.ErrMachineUnreachable", err)
+	}
+	if err := cl.Put(1, id, []byte("x")); !errors.Is(err, rdd.ErrMachineUnreachable) {
+		t.Fatalf("put after kill: got %v, want rdd.ErrMachineUnreachable", err)
+	}
+	if err := cl.Kill(1); err != nil {
+		t.Fatalf("second kill not idempotent: %v", err)
+	}
+	// The surviving worker is unaffected.
+	if err := cl.Put(0, id, []byte("alive")); err != nil {
+		t.Fatalf("surviving worker: %v", err)
+	}
+}
+
+func TestKillMidFlightFailsPendingCalls(t *testing.T) {
+	cl, err := StartWorkers(1, Options{PoolSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	id := rdd.BlockID{Kind: rdd.BlockShuffle, Owner: 3}
+	if err := cl.Put(0, id, bytes.Repeat([]byte{1}, 1<<20)); err != nil {
+		t.Fatal(err)
+	}
+	// Race a stream of fetches against the kill: every call must resolve —
+	// success before the kill or unreachable after — never a wrong payload
+	// and never a hang.
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; ; i++ {
+			data, err := cl.Fetch(0, id)
+			if err != nil {
+				if !errors.Is(err, rdd.ErrMachineUnreachable) {
+					done <- fmt.Errorf("fetch %d: got %v, want rdd.ErrMachineUnreachable", i, err)
+					return
+				}
+				done <- nil
+				return
+			}
+			if len(data) != 1<<20 {
+				done <- fmt.Errorf("fetch %d: short payload %d", i, len(data))
+				return
+			}
+		}
+	}()
+	if err := cl.Kill(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDialWorkersRejectsDeadAddress(t *testing.T) {
+	// A listener that closes immediately: DialWorkers must fail its ping
+	// with the unreachable sentinel rather than succeed vacuously.
+	_, err := DialWorkers([]string{"127.0.0.1:1"}, Options{})
+	if err == nil {
+		t.Fatal("DialWorkers succeeded against a closed port")
+	}
+	if !errors.Is(err, rdd.ErrMachineUnreachable) {
+		t.Fatalf("got %v, want rdd.ErrMachineUnreachable", err)
+	}
+}
+
+func TestGracefulShutdownFinishesInFlight(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve()
+	cl, err := DialWorkers([]string{s.Addr()}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	id := rdd.BlockID{Kind: rdd.BlockShuffle, Owner: 8}
+	if err := cl.Put(0, id, []byte("before drain")); err != nil {
+		t.Fatal(err)
+	}
+	// Shutdown with an idle pipelined connection open must not hang on it.
+	s.Shutdown()
+	if err := cl.Put(0, id, []byte("after drain")); !errors.Is(err, rdd.ErrMachineUnreachable) {
+		t.Fatalf("put after shutdown: got %v, want rdd.ErrMachineUnreachable", err)
+	}
+}
+
+// TestWorkerExitsWhenLifelineCloses is the orphaned-worker regression: a
+// spawned worker must not outlive its driver. The driver may die through
+// exit paths that skip the deferred Close (log.Fatal, a crash), so the only
+// reliable death signal is the lifeline pipe on the worker's stdin — when
+// the driver's write end closes, the worker must shut itself down. An
+// orphan would hold its inherited stderr open forever and wedge any shell
+// pipeline reading the driver's output.
+func TestWorkerExitsWhenLifelineCloses(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, lw, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(),
+		"DISTENC_WORKER_LISTEN=127.0.0.1:0",
+		"DISTENC_WORKER_DATA="+t.TempDir(),
+		"DISTENC_WORKER_LIFELINE=1")
+	cmd.Stdin = lr
+	cmd.Stdout = pw
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	lr.Close()
+	pw.Close()
+
+	// Wait for the worker to come up (it reports its address on stdout)
+	// before pulling the lifeline, so the test exercises a serving worker
+	// rather than racing its startup.
+	line := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(pr)
+		if sc.Scan() {
+			line <- sc.Text()
+		}
+		close(line)
+		for sc.Scan() {
+		}
+		pr.Close()
+	}()
+	select {
+	case l, ok := <-line:
+		if !ok || !strings.HasPrefix(l, listenLinePrefix) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatalf("worker did not report an address (got %q)", l)
+		}
+	case <-time.After(20 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatal("timed out waiting for worker to start")
+	}
+
+	if err := lw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("worker exited with error after lifeline close: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		<-done
+		t.Fatal("worker outlived its driver: still running 10s after the lifeline closed")
+	}
+}

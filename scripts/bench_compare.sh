@@ -22,6 +22,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# The baseline was recorded on the in-process backend (nil Transport), and
+# the benchmarks construct their own clusters the same way. Scrub any worker
+# env a caller's shell might carry: with DISTENC_WORKER_LISTEN set, the test
+# binary would turn into a TCP worker via WorkerHook instead of running the
+# benchmarks, and the gate must measure the inproc hot path regardless of
+# how it was invoked.
+unset DISTENC_WORKER_LISTEN DISTENC_WORKER_DATA
+
 COUNT=5
 if [[ "${1:-}" == "-short" ]]; then
   COUNT=3
