@@ -1,13 +1,14 @@
 // Command distenc-lint runs the repo's engine-invariant analysis suite
-// (rddcapture, hotalloc, bytecount, floatcmp, accadd).
+// (rddcapture, hotalloc, bytecount, floatcmp, accadd, lockorder,
+// goroutineowner, atomicfield).
 //
 // Two ways to invoke it:
 //
 //	go run ./cmd/distenc-lint ./...          # standalone, re-execs go vet
 //	go vet -vettool=/path/to/distenc-lint ./...
 //
-// Pass -rddcapture, -hotalloc, -bytecount, -floatcmp, or -accadd to run a
-// subset.
+// Pass -rddcapture, -hotalloc, -bytecount, -floatcmp, -accadd, -lockorder,
+// -goroutineowner, or -atomicfield to run a subset.
 package main
 
 import (

@@ -12,6 +12,13 @@
 //	             (Eq. 17 tolerance-based convergence)
 //	accadd     — plain Accumulator.Add in a fallible task closure must be
 //	             the final success path (the exactly-once retry contract)
+//	lockorder  — no blocking operation while a mutex is held, no
+//	             lock-acquisition cycles (the PR 5 blockFor convoy class)
+//	goroutineowner — every go statement ties to a registered lifetime:
+//	             WaitGroup, drain, or //distenc:goroutine-owned-by
+//	             (the PR 7 orphaned-worker class; the Quiesce drain contract)
+//	atomicfield — a field accessed via sync/atomic anywhere is never read or
+//	             written plainly elsewhere (exactly-once metrics counters)
 //
 // Run it as `go run ./cmd/distenc-lint ./...` or via
 // `go vet -vettool=$(which distenc-lint) ./...`; see DESIGN.md's "Engine
@@ -20,10 +27,13 @@ package analysis
 
 import (
 	"distenc/internal/analysis/accadd"
+	"distenc/internal/analysis/atomicfield"
 	"distenc/internal/analysis/bytecount"
 	"distenc/internal/analysis/floatcmp"
 	"distenc/internal/analysis/framework"
+	"distenc/internal/analysis/goroutineowner"
 	"distenc/internal/analysis/hotalloc"
+	"distenc/internal/analysis/lockorder"
 	"distenc/internal/analysis/rddcapture"
 )
 
@@ -35,5 +45,8 @@ func All() []*framework.Analyzer {
 		bytecount.Analyzer,
 		floatcmp.Analyzer,
 		accadd.Analyzer,
+		lockorder.Analyzer,
+		goroutineowner.Analyzer,
+		atomicfield.Analyzer,
 	}
 }

@@ -1,0 +1,189 @@
+// Package atomicfield enforces all-or-nothing atomicity on struct fields:
+// a field accessed through sync/atomic anywhere in the package may not be
+// read or written plainly anywhere else. Mixed access is a silent data race
+// — the plain load can see a torn or stale value, and the race detector
+// only catches the schedules it happens to run. The engine's exactly-once
+// metrics counters (speculation commit race) depend on this invariant.
+//
+// Two field classes are checked:
+//
+//   - plain-typed fields (int64, uint32, …) passed by address to a
+//     sync/atomic function (atomic.AddInt64(&m.bytes, n)): every other use
+//     must also be an atomic-call argument;
+//   - fields of a sync/atomic type (atomic.Int64, atomic.Bool, …): use is
+//     method calls only — copying or assigning the value strips the
+//     atomicity guarantee (and copies the internal noCopy state).
+//
+// A deliberate mixed access — e.g. a plain read in a constructor before the
+// value is shared — is waived per statement with
+// `//distenc:atomic-ok -- reason`.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"distenc/internal/analysis/directives"
+	"distenc/internal/analysis/framework"
+)
+
+// Analyzer is the atomicfield pass.
+var Analyzer = &framework.Analyzer{
+	Name: "atomicfield",
+	Doc:  "forbid plain access to struct fields that are accessed via sync/atomic elsewhere, and value copies of atomic-typed fields",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	dirs := directives.Scan(pass.Fset, pass.Files)
+
+	// Pass 1: find fields used as sync/atomic call arguments, and remember
+	// exactly which selector expressions those sanctioned uses are.
+	atomicFields := map[*types.Var]bool{}
+	sanctioned := map[*ast.SelectorExpr]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicPkgCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if f := fieldOf(pass, sel); f != nil {
+					atomicFields[f] = true
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: flag plain uses of those fields, and value uses of fields
+	// whose type lives in sync/atomic.
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			f := fieldOf(pass, sel)
+			if f == nil {
+				return true
+			}
+			parent := parentOf(stack)
+			if atomicFields[f] && !sanctioned[sel] {
+				// Taking the address without an immediate atomic call is
+				// tolerated: the pointer may feed an atomic op elsewhere.
+				if isAddrOperand(parent, sel) {
+					return true
+				}
+				if !waived(dirs, stack) {
+					pass.Reportf(sel.Pos(),
+						"field %s is accessed with sync/atomic elsewhere in this package; a plain access races with those — use atomic operations here too, or waive with //distenc:atomic-ok -- reason",
+						fieldDisplay(pass, sel, f))
+				}
+				return true
+			}
+			if isAtomicType(f.Type()) {
+				// Method calls (m.ops.Add(1)) and address-taking are the
+				// sanctioned uses; anything else copies the value.
+				if isMethodRecv(parent, sel) || isAddrOperand(parent, sel) {
+					return true
+				}
+				if !waived(dirs, stack) {
+					pass.Reportf(sel.Pos(),
+						"atomic field %s used as a value; copying or assigning it strips the atomicity guarantee — call its methods, or waive with //distenc:atomic-ok -- reason",
+						fieldDisplay(pass, sel, f))
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func isAtomicPkgCall(pass *framework.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync/atomic" && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// fieldOf resolves sel to the struct field object it denotes, or nil.
+func fieldOf(pass *framework.Pass, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+	}
+	return nil
+}
+
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+func parentOf(stack []ast.Node) ast.Node {
+	if len(stack) < 2 {
+		return nil
+	}
+	return stack[len(stack)-2]
+}
+
+func isMethodRecv(parent ast.Node, sel *ast.SelectorExpr) bool {
+	p, ok := parent.(*ast.SelectorExpr)
+	return ok && p.X == sel
+}
+
+func isAddrOperand(parent ast.Node, sel *ast.SelectorExpr) bool {
+	p, ok := parent.(*ast.UnaryExpr)
+	return ok && p.Op == token.AND && ast.Unparen(p.X) == sel
+}
+
+// fieldDisplay names the field as Type.field when the receiver type is
+// resolvable, else just the field name.
+func fieldDisplay(pass *framework.Pass, sel *ast.SelectorExpr, f *types.Var) string {
+	if s, ok := pass.TypesInfo.Selections[sel]; ok {
+		recv := s.Recv()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		if named, ok := recv.(*types.Named); ok {
+			return named.Obj().Name() + "." + f.Name()
+		}
+	}
+	return f.Name()
+}
+
+func waived(dirs *directives.Map, stack []ast.Node) bool {
+	for _, n := range stack {
+		if st, ok := n.(ast.Stmt); ok && dirs.Has(st, "atomic-ok") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"distenc/internal/analysis/analysistest"
+	"distenc/internal/analysis/atomicfield"
+)
+
+func TestAtomicField(t *testing.T) {
+	analysistest.Run(t, atomicfield.Analyzer, "a")
+}

@@ -1,0 +1,55 @@
+// Package a exercises the atomicfield analyzer: mixed atomic/plain access
+// to plain-typed fields, value copies of atomic-typed fields, and waivers.
+package a
+
+import "sync/atomic"
+
+type metrics struct {
+	// bytes is updated with atomic.AddInt64 — every access must be atomic.
+	bytes int64
+	// ops is an atomic-typed counter — method calls only.
+	ops atomic.Int64
+	// plain is never touched atomically; ordinary access is fine.
+	plain int64
+}
+
+func (m *metrics) record(n int64) {
+	atomic.AddInt64(&m.bytes, n)
+	m.ops.Add(1)
+	m.plain += n
+}
+
+func (m *metrics) read() int64 {
+	return atomic.LoadInt64(&m.bytes) + m.ops.Load() + m.plain
+}
+
+// mixedRead races with record's AddInt64.
+func (m *metrics) mixedRead() int64 {
+	return m.bytes // want `field metrics\.bytes is accessed with sync/atomic elsewhere`
+}
+
+// mixedWrite races the same way.
+func (m *metrics) mixedWrite() {
+	m.bytes = 0 // want `field metrics\.bytes is accessed with sync/atomic elsewhere`
+}
+
+// copyAtomic strips the guarantee (and duplicates internal state).
+func (m *metrics) copyAtomic() atomic.Int64 {
+	return m.ops // want `atomic field metrics\.ops used as a value`
+}
+
+// assignAtomic is the same defect on the write side.
+func (m *metrics) assignAtomic(v atomic.Int64) {
+	m.ops = v // want `atomic field metrics\.ops used as a value`
+}
+
+// addrAtomic is fine: a pointer preserves the shared instance.
+func (m *metrics) addrAtomic() *atomic.Int64 {
+	return &m.ops
+}
+
+// waivedRead: a deliberate pre-publication plain read, on the record.
+func (m *metrics) waivedRead() int64 {
+	//distenc:atomic-ok -- snapshot in the constructor before the struct is shared
+	return m.bytes
+}

@@ -14,6 +14,20 @@
 //	//distenc:accounted -- why        — marks an engine function whose byte
 //	                                    accounting happens in its caller for
 //	                                    bytecount
+//	//distenc:blocks -- why           — marks a function as a blocking
+//	                                    operation for lockorder (it parks the
+//	                                    goroutine: network, channels, sleeps)
+//	//distenc:lockheld-ok -- why      — waives one statement (or a whole
+//	                                    function) that deliberately blocks
+//	                                    while holding a mutex, for lockorder
+//	//distenc:goroutine-owned-by m -- why
+//	                                  — records the lifetime mechanism that
+//	                                    joins or bounds a spawned goroutine
+//	                                    for goroutineowner (e.g. channel-drain,
+//	                                    conn-close, process-lifetime)
+//	//distenc:atomic-ok -- why        — waives a deliberate plain access to an
+//	                                    atomically-accessed field for
+//	                                    atomicfield
 //
 // A directive binds to the node that starts on its own line, or to the node
 // starting on the first non-comment line below it (so it can sit on the

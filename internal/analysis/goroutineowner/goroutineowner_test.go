@@ -1,0 +1,12 @@
+package goroutineowner_test
+
+import (
+	"testing"
+
+	"distenc/internal/analysis/analysistest"
+	"distenc/internal/analysis/goroutineowner"
+)
+
+func TestGoroutineOwner(t *testing.T) {
+	analysistest.Run(t, goroutineowner.Analyzer, "a", "regress")
+}

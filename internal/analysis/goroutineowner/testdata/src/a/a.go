@@ -1,0 +1,86 @@
+// Package a exercises the goroutineowner analyzer: unowned go statements,
+// WaitGroup ownership before and inside the goroutine, directives, and
+// malformed directives.
+package a
+
+import "sync"
+
+type pool struct {
+	wg   sync.WaitGroup
+	work chan func()
+}
+
+// naked is the fire-and-forget shape the analyzer exists to kill.
+func (p *pool) naked() {
+	go func() { // want `unowned goroutine`
+		for f := range p.work {
+			f()
+		}
+	}()
+}
+
+// addBefore is the engine's dominant pattern: count registered before spawn.
+func (p *pool) addBefore() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for f := range p.work {
+			f()
+		}
+	}()
+}
+
+// doneInside: the Add lives in the caller that owns the count; the literal
+// proves membership by deferring Done.
+func (p *pool) doneInside() {
+	go func() {
+		defer p.wg.Done()
+		(<-p.work)()
+	}()
+}
+
+// directive: an explicit ownership record with mechanism and reason.
+func (p *pool) directive(done chan struct{}) {
+	//distenc:goroutine-owned-by channel-drain -- exits when done closes; Close always closes done
+	go func() {
+		<-done
+	}()
+}
+
+// missingMechanism: the directive without its payload is just noise.
+func (p *pool) missingMechanism() {
+	//distenc:goroutine-owned-by
+	go func() { // want `goroutine-owned-by needs a mechanism and a reason`
+		(<-p.work)()
+	}()
+}
+
+// missingReason: a mechanism alone records what, not why.
+func (p *pool) missingReason() {
+	//distenc:goroutine-owned-by channel-drain
+	go func() { // want `goroutine-owned-by needs a mechanism and a reason`
+		(<-p.work)()
+	}()
+}
+
+// namedFunc: go on a declared function is checked the same way.
+func (p *pool) namedFunc() {
+	go p.drain() // want `unowned goroutine`
+}
+
+func (p *pool) drain() {
+	for f := range p.work {
+		f()
+	}
+}
+
+// nestedScope: an Add in the outer function does not own a go statement
+// inside a separate literal — that literal may itself be a goroutine body.
+func (p *pool) nestedScope() {
+	p.wg.Add(1)
+	cb := func() {
+		go p.drain() // want `unowned goroutine`
+	}
+	cb()
+	p.wg.Done()
+}

@@ -1,0 +1,8 @@
+package a
+
+// Test files are exempt: test helpers spawn bounded goroutines under the
+// testing framework's own lifetime, and leakcheck catches escapes at run
+// time. No want comments here — a naked go in a _test.go file is clean.
+func spawnInTest(p *pool) {
+	go p.drain()
+}

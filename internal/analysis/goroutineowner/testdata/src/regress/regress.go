@@ -1,0 +1,33 @@
+// Package regress reproduces the PR 7 orphaned-worker wedge: the client
+// spawned a fire-and-forget reaper for a killed worker process, nothing
+// joined it, and a slow subprocess exit left the goroutine (and the worker)
+// alive after Cluster.Close returned. The fixed shape hands the reaper's
+// completion back through a drained channel.
+package regress
+
+import "os"
+
+type workerProc struct {
+	proc *os.Process
+}
+
+// killOrphaned is the buggy shape: the watcher outlives everything.
+func (w *workerProc) killOrphaned() {
+	w.proc.Signal(os.Interrupt)
+	go func() { // want `unowned goroutine`
+		w.proc.Wait()
+	}()
+}
+
+// killJoined is the fixed shape: the spawner bounds the wait and the
+// goroutine hands its exit back on a channel both paths drain.
+func (w *workerProc) killJoined() {
+	w.proc.Signal(os.Interrupt)
+	done := make(chan struct{}, 1)
+	//distenc:goroutine-owned-by channel-drain -- buffered handoff; spawner selects on done with a timeout and the buffer lets the reaper exit either way
+	go func() {
+		w.proc.Wait()
+		done <- struct{}{}
+	}()
+	<-done
+}

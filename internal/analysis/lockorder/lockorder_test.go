@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"distenc/internal/analysis/analysistest"
+	"distenc/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, "a", "regress")
+}

@@ -4,6 +4,7 @@ import (
 	"os"
 	"testing"
 
+	"distenc/internal/leakcheck"
 	"distenc/internal/metrics"
 	"distenc/internal/rdd"
 	"distenc/internal/synth"
@@ -12,10 +13,12 @@ import (
 
 // TestMain lets the TCP-backend tests spawn real worker processes by
 // re-execing this test binary: with the worker env set, WorkerHook serves
-// blocks and exits before any test runs.
+// blocks and exits before any test runs. leakcheck then holds every test —
+// chaos and TCP e2e included — to the shutdown contract: Cluster.Close and
+// transport teardown leave no goroutine behind.
 func TestMain(m *testing.M) {
 	transport.WorkerHook()
-	os.Exit(m.Run())
+	os.Exit(leakcheck.Main(m))
 }
 
 // newTCPCluster builds a cluster whose blocks live in real worker processes,

@@ -1,0 +1,146 @@
+// Package leakcheck is the runtime half of the concurrency-invariant suite:
+// it proves that Cluster.Close, Quiesce, and worker shutdown leave zero
+// stray goroutines behind. The static passes (goroutineowner, lockorder)
+// make unowned goroutines structurally hard to write; this sentinel catches
+// whatever slips through — a lifetime annotation whose claimed mechanism
+// does not actually fire, a drain that only drains on the happy path.
+//
+// Two entry points:
+//
+//	func TestMain(m *testing.M) {
+//		os.Exit(leakcheck.Main(m))
+//	}
+//
+// fails the whole package if goroutines are still running after every test
+// finished, and
+//
+//	defer leakcheck.Check(t)
+//
+// scopes the same assertion to one test (use it in regression tests that
+// must prove a specific teardown drains).
+//
+// Stacks are snapshotted with runtime.Stack and filtered against the
+// runtime's own goroutines (GC, finalizers, signal handling) and the
+// testing framework's. Goroutines legitimately finishing are given time to
+// do so: the check retries with backoff for a settle window before calling
+// anything a leak, so a Close that returned a microsecond before its last
+// worker goroutine unwound does not flake.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TB is the subset of testing.TB the checker needs; it keeps Check usable
+// from helpers without importing the concrete type.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// settleWindow bounds how long Check waits for in-flight goroutines to
+// unwind before reporting them as leaks.
+const settleWindow = 4 * time.Second
+
+// Check fails t if goroutines beyond the runtime/testing baseline are still
+// alive after the settle window. Call it (usually deferred) at the end of a
+// test whose teardown must drain everything it started.
+func Check(t TB) {
+	t.Helper()
+	if leaked := settle(); len(leaked) > 0 {
+		t.Errorf("leaked %d goroutine(s):\n%s", len(leaked), strings.Join(leaked, "\n\n"))
+	}
+}
+
+// Main wraps m.Run for TestMain: it returns m.Run's code, except that a
+// passing run with leaked goroutines becomes a failure. Leaks never mask a
+// real test failure's exit code.
+func Main(m *testing.M) int {
+	code := m.Run()
+	if code != 0 {
+		return code
+	}
+	if leaked := settle(); len(leaked) > 0 {
+		fmt.Printf("leakcheck: %d goroutine(s) still running after all tests:\n%s\n",
+			len(leaked), strings.Join(leaked, "\n\n"))
+		return 1
+	}
+	return code
+}
+
+// settle polls the goroutine set with exponential backoff until it is clean
+// or the window closes, and returns the residue.
+func settle() []string {
+	deadline := time.Now().Add(settleWindow)
+	delay := time.Millisecond
+	for {
+		leaked := snapshot()
+		if len(leaked) == 0 || time.Now().After(deadline) {
+			return leaked
+		}
+		time.Sleep(delay)
+		if delay < 100*time.Millisecond {
+			delay *= 2
+		}
+	}
+}
+
+// snapshot returns the stacks of all goroutines that are neither the
+// current one nor attributable to the runtime or the testing framework.
+func snapshot() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	stacks := strings.Split(string(buf), "\n\n")
+	var leaked []string
+	for i, s := range stacks {
+		if i == 0 {
+			continue // the goroutine running this check
+		}
+		if !ignorable(s) {
+			leaked = append(leaked, s)
+		}
+	}
+	return leaked
+}
+
+// ignorable reports whether a stack belongs to the runtime, the testing
+// framework, or this package — machinery that legitimately outlives tests.
+func ignorable(stack string) bool {
+	for _, marker := range []string{
+		"testing.Main(",
+		"testing.tRunner(",
+		"testing.(*M).",
+		"testing.(*T).",
+		"testing.(*F).",
+		"testing.runFuzzing(",
+		"testing.fRunner(",
+		"runtime.goexit0",
+		"runtime.gc",
+		"runtime.bgsweep",
+		"runtime.bgscavenge",
+		"runtime.forcegchelper",
+		"runtime.runfinq",
+		"runtime.ReadTrace",
+		"signal.signal_recv",
+		"signal.loop",
+		"os/signal.NotifyContext",
+		"runtime/trace.Start",
+	} {
+		if strings.Contains(stack, marker) {
+			return true
+		}
+	}
+	// "created by runtime" covers the remaining runtime-internal workers.
+	return strings.Contains(stack, "created by runtime.")
+}

@@ -1,0 +1,64 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+// recorder captures Errorf calls from Check.
+type recorder struct {
+	errs []string
+}
+
+func (r *recorder) Helper() {}
+func (r *recorder) Errorf(format string, args ...any) {
+	r.errs = append(r.errs, format)
+}
+
+func TestCheckCleanWhenNothingRuns(t *testing.T) {
+	var r recorder
+	Check(&r)
+	if len(r.errs) != 0 {
+		t.Fatalf("clean process reported leaks: %v", r.errs)
+	}
+}
+
+func TestCheckReportsBlockedGoroutine(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-block
+	}()
+	<-started
+
+	leaked := snapshot()
+	found := false
+	for _, s := range leaked {
+		if strings.Contains(s, "TestCheckReportsBlockedGoroutine") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("snapshot missed the deliberately leaked goroutine; got %d stacks", len(leaked))
+	}
+
+	close(block)
+	// The goroutine unwinds; Check's settle loop must converge to clean.
+	var r recorder
+	Check(&r)
+	if len(r.errs) != 0 {
+		t.Fatalf("Check still sees the finished goroutine: %v", r.errs)
+	}
+}
+
+func TestIgnorableFiltersTestingFrames(t *testing.T) {
+	stack := "goroutine 1 [chan receive]:\ntesting.(*T).Run(...)\n\tcreated by testing.(*M).Run"
+	if !ignorable(stack) {
+		t.Fatal("testing-framework stack not filtered")
+	}
+	worker := "goroutine 9 [IO wait]:\ninternal/transport.(*pipeConn).readLoop(...)\n\tcreated by distenc/internal/transport.dialWorker"
+	if ignorable(worker) {
+		t.Fatal("engine goroutine wrongly filtered")
+	}
+}

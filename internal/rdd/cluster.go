@@ -847,7 +847,15 @@ func (c *Cluster) runStage(name string, parts int, task func(tc *TaskCtx, p int)
 
 	if c.speculating() && parts > 1 {
 		st.done = make(chan struct{})
-		go c.speculationMonitor(st, states, task)
+		// The monitor joins the attempts group so Quiesce waits for it: it
+		// exits on st.done, which closes right after st.wg.Wait below, so it
+		// never outlives the stage — but without the Add a Close racing the
+		// tail of a stage could tear down machines under a live monitor.
+		c.attempts.Add(1)
+		go func() {
+			defer c.attempts.Done()
+			c.speculationMonitor(st, states, task)
+		}()
 	}
 
 	for p := 0; p < parts; p++ {
@@ -988,6 +996,7 @@ func (c *Cluster) runAttempt(st *stageState, ps *partState, task func(tc *TaskCt
 	case c.planShouldFail(st.name, p, attempt):
 		err = fmt.Errorf("rdd: fault-plan failure in stage %q task %d on machine %d: %w", st.name, p, m, errRetryable)
 	default:
+		//distenc:lockheld-ok -- SerializeTasks runs whole task bodies (straggle injection included) under serialMu by design; the lock IS the serializer
 		c.planStraggle(st.name, p, attempt)
 		err = task(tc, p)
 		if err == nil && c.machineDead(m) {

@@ -1,0 +1,67 @@
+package rdd
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"distenc/internal/leakcheck"
+)
+
+// slowEvictor records whether its eviction ran to completion, after a delay
+// long enough that an unjoined eviction goroutine would still be mid-flight
+// when Quiesce returns.
+type slowEvictor struct {
+	delay time.Duration
+	done  atomic.Bool
+}
+
+func (e *slowEvictor) evictMachine(m int) {
+	time.Sleep(e.delay)
+	e.done.Store(true)
+}
+
+// TestMachineLostEvictionJoinsQuiesce pins the fix for the unowned eviction
+// goroutine: machineLost spawns evictDeadMachine asynchronously (evicting
+// synchronously inside a task could deadlock on partition locks), but that
+// goroutine must join the attempts group — otherwise Quiesce, and therefore
+// Close, returns while evictors are still republishing state, and shutdown
+// tears the cluster out from under its own recovery.
+func TestMachineLostEvictionJoinsQuiesce(t *testing.T) {
+	c := testCluster(t, Config{Machines: 3})
+	ev := &slowEvictor{delay: 150 * time.Millisecond}
+	id := c.registerEvictor(ev)
+	defer c.unregisterEvictor(id)
+
+	c.machineLost(1, "test: simulated transport failure")
+	c.Quiesce()
+	if !ev.done.Load() {
+		t.Fatal("Quiesce returned while machineLost's eviction goroutine was still running")
+	}
+	leakcheck.Check(t)
+}
+
+// TestSpeculationMonitorJoinsQuiesce pins the monitor's ownership: after a
+// speculative stage completes and the cluster closes, no monitor goroutine
+// may survive. Before the monitor joined the attempts group, a Close racing
+// the tail of a stage could tear down machines under a live monitor.
+func TestSpeculationMonitorJoinsQuiesce(t *testing.T) {
+	c := testCluster(t, Config{
+		Machines: 4, CoresPerMachine: 2,
+		Speculation: SpeculationConfig{
+			Enabled: true, Quantile: 0.5, Multiplier: 2, MinDuration: 5 * time.Millisecond,
+		},
+	})
+	r := MapPartitions(Parallelize(c, "nums", ints(16), 4), "slow",
+		func(tc *TaskCtx, p int, in []int) ([]int, error) {
+			if p == 0 {
+				time.Sleep(50 * time.Millisecond)
+			}
+			return in, nil
+		})
+	if _, err := r.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	c.Quiesce()
+	leakcheck.Check(t)
+}

@@ -1,0 +1,15 @@
+package rdd
+
+import (
+	"os"
+	"testing"
+
+	"distenc/internal/leakcheck"
+)
+
+// TestMain holds every rdd test to the Quiesce drain contract: Cluster.Close
+// joins all task attempts, speculation monitors, and eviction goroutines, so
+// nothing this package starts may survive its tests.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

@@ -117,5 +117,12 @@ func (c *Cluster) machineLost(m int, cause string) {
 	if m < 0 || m >= c.cfg.Machines || c.machines[m].dead.Swap(true) {
 		return
 	}
-	go c.evictDeadMachine(m, cause)
+	// Eviction joins the attempts group: Quiesce (and therefore Close) must
+	// not return while an evictor is still republishing blocks, or shutdown
+	// tears the transport out from under the recovery it triggered.
+	c.attempts.Add(1)
+	go func() {
+		defer c.attempts.Done()
+		c.evictDeadMachine(m, cause)
+	}()
 }

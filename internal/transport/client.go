@@ -79,27 +79,64 @@ type worker struct {
 	mu    sync.Mutex
 	conns []*pipeConn
 	next  int
+	// gen counts pool sweeps (closeConns). A dial that started against an
+	// older generation must not install its connection: the sweeper has
+	// already passed and would never tear it down.
+	gen int
 }
 
-// conn returns a live pooled connection, dialing lazily.
+// conn returns a live pooled connection, dialing lazily. The dial happens
+// with w.mu released: holding the pool lock across a network connect (up to
+// DialTimeout against a dead host) would convoy every caller that only
+// wanted to pick an already-live connection — the same class of stall as
+// the PR 5 blockFor convoy, but on the client pool.
 func (w *worker) conn() (*pipeConn, error) {
 	if w.killed.Load() {
 		return nil, unreachableErr(w.addr, errors.New("worker killed"))
 	}
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	for i := 0; i < len(w.conns); i++ {
 		w.next = (w.next + 1) % len(w.conns)
 		if c := w.conns[w.next]; c != nil && !c.isDead() {
+			w.mu.Unlock()
 			return c, nil
 		}
 	}
+	slot := w.next
+	gen := w.gen
+	w.mu.Unlock()
+
 	c, err := dialWorker(w.addr, w.opts)
 	if err != nil {
 		return nil, err
 	}
-	w.conns[w.next] = c
-	return c, nil
+
+	w.mu.Lock()
+	// Kill/Close may have swept the pool while we were dialing; a connection
+	// installed now would never be torn down.
+	if w.killed.Load() || w.gen != gen {
+		w.mu.Unlock()
+		c.nc.Close()
+		return nil, unreachableErr(w.addr, errors.New("worker closed while dialing"))
+	}
+	if old := w.conns[slot]; old == nil || old.isDead() {
+		w.conns[slot] = c
+		w.mu.Unlock()
+		return c, nil
+	}
+	// A concurrent dial already filled the slot; use the winner and fold our
+	// spare connection back into the first free slot rather than leaking it.
+	for i, old := range w.conns {
+		if old == nil || old.isDead() {
+			w.conns[i] = c
+			w.mu.Unlock()
+			return c, nil
+		}
+	}
+	winner := w.conns[slot]
+	w.mu.Unlock()
+	c.nc.Close()
+	return winner, nil
 }
 
 // closeConns tears down every pooled connection (failing their in-flight
@@ -108,6 +145,7 @@ func (w *worker) closeConns(err error) {
 	w.mu.Lock()
 	conns := w.conns
 	w.conns = make([]*pipeConn, len(conns))
+	w.gen++
 	w.mu.Unlock()
 	for _, c := range conns {
 		if c != nil {
@@ -175,6 +213,7 @@ func dialWorker(addr string, opts Options) (*pipeConn, error) {
 		return nil, unreachableErr(addr, fmt.Errorf("bad hello: %v", err))
 	}
 	nc.SetDeadline(time.Time{})
+	//distenc:goroutine-owned-by conn-close -- readLoop exits when the connection dies or closes (ReadFrame errors), and fail/closeConns always close the conn
 	go c.readLoop()
 	return c, nil
 }
@@ -238,6 +277,8 @@ func (c *pipeConn) readLoop() {
 // roundTrip sends one request and waits for its response (or timeout, which
 // condemns the whole connection — a one-request stall means the server-side
 // sequential handler is stuck, so everything queued behind it is too).
+//
+//distenc:lockheld-ok -- wmu is the wire-order lock: writing the frame under it is its entire purpose (FIFO request order must match the read loop's FIFO response matching)
 func (c *pipeConn) roundTrip(req request, payload []byte, timeout time.Duration) (uint8, []byte, error) {
 	c.wmu.Lock()
 	c.qmu.Lock()
@@ -281,6 +322,8 @@ func (c *pipeConn) roundTrip(req request, payload []byte, timeout time.Duration)
 
 // oneWay writes a request without reserving a response slot (opDie: the
 // server exits instead of answering).
+//
+//distenc:lockheld-ok -- wmu is the wire-order lock; see roundTrip
 func (c *pipeConn) oneWay(req request) {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
@@ -395,6 +438,7 @@ func (t *Client) Close() error {
 		if w.cmd != nil && !w.killed.Swap(true) {
 			w.cmd.Process.Signal(syscall.SIGTERM)
 			done := make(chan struct{})
+			//distenc:goroutine-owned-by channel-drain -- both select arms below join done (the timeout arm SIGKILLs first, so the Wait and this goroutine finish)
 			go func(w *worker) {
 				w.reap.Do(func() { w.cmd.Wait() })
 				close(done)
@@ -507,6 +551,7 @@ func spawnWorker(exe string, opts Options) (*worker, error) {
 	lr.Close() // and the lifeline's read end
 
 	addrCh := make(chan string, 1)
+	//distenc:goroutine-owned-by process-lifetime -- drains the child's stdout until EOF, which arrives exactly when the worker process exits (Close reaps it); the addrCh handoff is buffered
 	go func() {
 		defer pr.Close()
 		sc := bufio.NewScanner(pr)

@@ -13,15 +13,17 @@ import (
 	"testing"
 	"time"
 
+	"distenc/internal/leakcheck"
 	"distenc/internal/rdd"
 )
 
 // TestMain lets StartWorkers re-exec this very test binary as its worker
 // processes: with the env set, WorkerHook serves and exits before any test
-// runs.
+// runs. leakcheck then holds every test to the shutdown contract: Close and
+// Shutdown leave no goroutine behind.
 func TestMain(m *testing.M) {
 	WorkerHook()
-	os.Exit(m.Run())
+	os.Exit(leakcheck.Main(m))
 }
 
 // startServer runs one in-process Server and returns a client fronting it.

@@ -39,6 +39,7 @@ func WorkerHook() {
 		return
 	}
 	if os.Getenv(envLifeline) == "1" {
+		//distenc:goroutine-owned-by process-lifetime -- the lifeline watcher must outlive everything in this process; it dies with the process it exists to kill
 		go func() {
 			io.Copy(io.Discard, os.Stdin)
 			// SIGTERM ourselves rather than os.Exit so RunWorker's handler
@@ -68,11 +69,16 @@ func RunWorker(addr, dataDir string, report io.Writer) error {
 		return err
 	}
 	s.allowDie = true
-	fmt.Fprintf(report, "%s%s\n", listenLinePrefix, s.Addr())
 
+	// Arm the signal handler BEFORE announcing the address: the parent may
+	// react to the listen line immediately (the lifeline test closes its
+	// pipe end the moment it reads it), and a SIGTERM that lands before
+	// Notify kills the process at default disposition instead of draining.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	fmt.Fprintf(report, "%s%s\n", listenLinePrefix, s.Addr())
 	done := make(chan error, 1)
+	//distenc:goroutine-owned-by channel-drain -- both select arms receive from done; the buffer lets Serve's result land even if the signal arm wins
 	go func() { done <- s.Serve() }()
 	select {
 	case <-sig:

@@ -36,9 +36,23 @@ if [[ "${1:-}" == "-short" ]]; then
 fi
 TOL_PCT="${BENCH_TOL_PCT:-25}"
 
-OUT=$(go test ./internal/core/ -run '^$' \
-  -bench 'BenchmarkMTTKRPStage$|BenchmarkMTTKRPStageGrid$|BenchmarkMTTKRPSteadyState' \
-  -benchmem -count "$COUNT")
+# Compile the benchmark binary once, then verify it is NOT race-instrumented
+# before recording a single number: the race detector multiplies ns/op by
+# 5-20x and adds allocations, so a GOFLAGS=-race environment (or a CI job
+# that exports it for the test steps) would silently compare garbage against
+# the baseline. Refuse rather than measure.
+BIN=$(mktemp -t bench_core.XXXXXX)
+trap 'rm -f "$BIN"' EXIT
+go test -c -o "$BIN" ./internal/core/
+if go version -m "$BIN" | grep -Eq 'build[[:space:]]+-race=true'; then
+  echo "bench_compare: refusing to benchmark a race-instrumented binary" >&2
+  echo "  (go version -m reports -race=true; unset GOFLAGS/-race and retry)" >&2
+  exit 1
+fi
+
+OUT=$("$BIN" -test.run '^$' \
+  -test.bench 'BenchmarkMTTKRPStage$|BenchmarkMTTKRPStageGrid$|BenchmarkMTTKRPSteadyState' \
+  -test.benchmem -test.count "$COUNT")
 echo "$OUT"
 echo
 
