@@ -40,6 +40,7 @@ import (
 	"strings"
 
 	"distenc"
+	"distenc/internal/serve"
 )
 
 type simFlags map[int]string
@@ -337,8 +338,11 @@ func main() {
 	}
 }
 
-// predictCells reads one multi-index per line and prints the model's
-// prediction for each cell.
+// predictCells reads one multi-index per line (through the serving plane's
+// hardened cell reader: 8MB line budget, line-numbered errors) and prints
+// the model's prediction for each cell. Output is buffered and the flush
+// error checked, so a closed or full stdout fails the run instead of
+// silently truncating predictions.
 func predictCells(path string, order int, dims []int, res *distenc.Result) error {
 	var in *os.File
 	if path == "-" {
@@ -351,27 +355,24 @@ func predictCells(path string, order int, dims []int, res *distenc.Result) error
 		defer f.Close()
 		in = f
 	}
-	sc := bufio.NewScanner(in)
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
-			continue
-		}
-		fields := strings.Fields(text)
-		if len(fields) != order {
-			return fmt.Errorf("predict line %d: want %d indices, got %d", line, order, len(fields))
-		}
-		idx := make([]int32, order)
-		for i, f := range fields {
-			v, err := strconv.Atoi(f)
-			if err != nil || v < 0 || v >= dims[i] {
-				return fmt.Errorf("predict line %d: bad index %q for mode %d", line, f, i)
+	out := bufio.NewWriter(os.Stdout)
+	err := serve.ForEachCell(in, order, func(line int, idx []int32) error {
+		for i, v := range idx {
+			if int(v) >= dims[i] {
+				return fmt.Errorf("predict line %d: index %d out of range for mode %d (size %d)", line, v, i, dims[i])
 			}
-			idx[i] = int32(v)
 		}
-		fmt.Printf("%s %g\n", text, res.Model.At(idx))
+		for i, v := range idx {
+			if i > 0 {
+				fmt.Fprint(out, " ")
+			}
+			fmt.Fprint(out, v)
+		}
+		_, werr := fmt.Fprintf(out, " %g\n", res.Model.At(idx))
+		return werr
+	})
+	if ferr := out.Flush(); err == nil {
+		err = ferr
 	}
-	return sc.Err()
+	return err
 }

@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"distenc/internal/core"
+	"distenc/internal/rdd"
+	"distenc/internal/serve"
+	"distenc/internal/synth"
+)
+
+// ServeReport is the BENCH_serve.json schema: one record per serving
+// configuration (cache on/off), capturing throughput and tail latency of
+// the binary predict plane.
+type ServeReport struct {
+	Config    string  `json:"config"`
+	Dims      []int   `json:"dims"`
+	Rank      int     `json:"rank"`
+	Clients   int     `json:"clients"`
+	Batch     int     `json:"batch"`
+	Seconds   float64 `json:"seconds"`
+	Queries   int64   `json:"queries"`
+	CellsPerS float64 `json:"cellsPerSec"`
+	QPS       float64 `json:"qps"`
+	P50Ms     float64 `json:"p50Ms"`
+	P99Ms     float64 `json:"p99Ms"`
+	CacheHit  float64 `json:"cacheHitRate"`
+}
+
+// Serve benchmarks the completion-as-a-service plane: a model trained at
+// profile scale is served over the binary protocol to a small fleet of
+// pipelined clients issuing fixed-size batch predictions, with the hot-row
+// cache off and on. QPS and tail latencies print as a table and land in
+// BENCH_serve.json for the CI smoke job.
+func Serve(w io.Writer, p Profile) {
+	p = p.withDefaults()
+	dims, nnz, iters := []int{200, 160, 120}, 40000, 5
+	duration := 5 * time.Second
+	if p.Small {
+		dims, nnz, iters = []int{40, 30, 20}, 3000, 3
+		duration = time.Second
+	}
+	const (
+		clients = 4
+		batch   = 64
+		rank    = 8
+	)
+
+	fmt.Fprintf(w, "== serving plane: QPS / latency (dims=%v rank=%d, %d clients × batch %d, %s per config)\n",
+		dims, rank, clients, batch, duration)
+
+	// Train once, serve the checkpoint in both configurations.
+	ckptDir, err := os.MkdirTemp("", "distenc-bench-serve-")
+	if err != nil {
+		fmt.Fprintf(w, "serve bench: %v\n", err)
+		return
+	}
+	defer os.RemoveAll(ckptDir)
+	d := synth.LinearFactorDataset(dims, 4, nnz, p.Seed)
+	c := rdd.MustNewCluster(rdd.Config{Machines: p.Machines})
+	_, err = core.CompleteDistributed(c, d.Tensor, d.Sims, core.DistOptions{Options: core.Options{
+		Rank: rank, MaxIter: iters, Tol: 1e-300, Seed: p.Seed,
+		CheckpointEvery: iters, CheckpointDir: ckptDir,
+	}})
+	c.Close()
+	if err != nil {
+		fmt.Fprintf(w, "serve bench: training: %v\n", err)
+		return
+	}
+	ckpt := core.CheckpointPath(ckptDir)
+
+	fmt.Fprintf(w, "%-10s %10s %12s %9s %9s %9s\n", "config", "QPS", "cells/s", "p50(ms)", "p99(ms)", "cacheHit%")
+	var reports []ServeReport
+	for _, cfg := range []struct {
+		name      string
+		cacheRows int
+	}{
+		{"nocache", 0},
+		{"cache", 4096},
+	} {
+		rep, err := runServeLoad(ckpt, d.Tensor.Dims, cfg.name, cfg.cacheRows, clients, batch, rank, duration, p.Seed)
+		if err != nil {
+			fmt.Fprintf(w, "serve bench %s: %v\n", cfg.name, err)
+			return
+		}
+		reports = append(reports, rep)
+		fmt.Fprintf(w, "%-10s %10.0f %12.0f %9.3f %9.3f %8.1f%%\n",
+			rep.Config, rep.QPS, rep.CellsPerS, rep.P50Ms, rep.P99Ms, 100*rep.CacheHit)
+	}
+
+	out, err := os.Create("BENCH_serve.json")
+	if err != nil {
+		fmt.Fprintf(w, "serve bench: %v\n", err)
+		return
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(reports); err == nil {
+		err = out.Close()
+	} else {
+		out.Close()
+	}
+	if err != nil {
+		fmt.Fprintf(w, "serve bench: writing BENCH_serve.json: %v\n", err)
+		return
+	}
+	fmt.Fprintln(w, "wrote BENCH_serve.json")
+}
+
+// runServeLoad starts one in-process server over the checkpoint and drives
+// it with `clients` connections issuing random valid batches for the given
+// duration.
+func runServeLoad(ckpt string, dims []int, name string, cacheRows, clients, batch, rank int, duration time.Duration, seed uint64) (ServeReport, error) {
+	reg := serve.NewRegistry()
+	m, err := serve.LoadModel("bench", ckpt, "", cacheRows)
+	if err != nil {
+		return ServeReport{}, err
+	}
+	reg.Put(m)
+	srv, err := serve.NewServer(reg, serve.Config{Listen: "127.0.0.1:0", CacheRows: cacheRows})
+	if err != nil {
+		return ServeReport{}, err
+	}
+	done := make(chan error, 1)
+	//distenc:goroutine-owned-by done-channel -- runServeLoad drains done after srv.Shutdown below
+	go func() { done <- srv.Serve() }()
+
+	type clientResult struct {
+		lat []time.Duration
+		err error
+	}
+	results := make([]clientResult, clients)
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(duration)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cl, err := serve.Dial(srv.Addr())
+			if err != nil {
+				results[g].err = err
+				return
+			}
+			defer cl.Close()
+			rng := rand.New(rand.NewPCG(seed, uint64(g)))
+			flat := make([]int32, batch*len(dims))
+			for time.Now().Before(deadline) {
+				for i := range flat {
+					flat[i] = int32(rng.IntN(dims[i%len(dims)]))
+				}
+				start := time.Now()
+				if _, err := cl.Predict("bench", len(dims), flat); err != nil {
+					results[g].err = err
+					return
+				}
+				results[g].lat = append(results[g].lat, time.Since(start))
+			}
+		}(g)
+	}
+	wg.Wait()
+	srv.Shutdown()
+	<-done
+
+	var lats []time.Duration
+	for _, r := range results {
+		if r.err != nil {
+			return ServeReport{}, r.err
+		}
+		lats = append(lats, r.lat...)
+	}
+	if len(lats) == 0 {
+		return ServeReport{}, fmt.Errorf("no queries completed")
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	queries := int64(len(lats))
+	snap := reg.Snapshot()
+	return ServeReport{
+		Config:    name,
+		Dims:      dims,
+		Rank:      rank,
+		Clients:   clients,
+		Batch:     batch,
+		Seconds:   duration.Seconds(),
+		Queries:   queries,
+		QPS:       float64(queries) / duration.Seconds(),
+		CellsPerS: float64(queries*int64(batch)) / duration.Seconds(),
+		P50Ms:     float64(lats[len(lats)/2].Microseconds()) / 1000,
+		P99Ms:     float64(lats[len(lats)*99/100].Microseconds()) / 1000,
+		CacheHit:  snap[0].HitRate(),
+	}, nil
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -146,14 +147,56 @@ func writeCheckpoint(dir string, ck *checkpointState) error {
 	return nil
 }
 
-// readCheckpoint parses dir's checkpoint file.
-func readCheckpoint(dir string) (*checkpointState, error) {
-	data, err := os.ReadFile(CheckpointPath(dir))
-	if errors.Is(err, os.ErrNotExist) {
-		return nil, fmt.Errorf("%w in %s", ErrNoCheckpoint, dir)
+// Checkpoint is one decoded solver image — the exported read-side view of
+// the solver.ckpt format, used by the serving plane (internal/serve) to load
+// completed models and warm-start refreshes. Factors/Aux/Duals mirror the
+// ADMM state {A(n), B(n), Y(n)}; Model wraps the factors as the Kruskal
+// tensor that answers entry reconstructions (Eq. 3).
+type Checkpoint struct {
+	// Path is where the image was read from.
+	Path string
+	// Iter is the number of completed outer iterations.
+	Iter int
+	// Eta is the ADMM penalty entering the next iteration.
+	Eta float64
+	// Factors are the factor matrices A(n).
+	Factors []*mat.Dense
+	// Aux are the auxiliary variables B(n).
+	Aux []*mat.Dense
+	// Duals are the scaled multipliers Y(n).
+	Duals []*mat.Dense
+}
+
+// Rank returns the model's CP rank R.
+func (ck *Checkpoint) Rank() int { return ck.Factors[0].Cols() }
+
+// Dims returns the per-mode sizes I_n.
+func (ck *Checkpoint) Dims() []int {
+	d := make([]int, len(ck.Factors))
+	for n, f := range ck.Factors {
+		d[n] = f.Rows()
 	}
+	return d
+}
+
+// Model wraps the checkpointed factors as the completed tensor in Kruskal
+// form; Model().At predicts any cell.
+func (ck *Checkpoint) Model() *sptensor.Kruskal { return sptensor.NewKruskal(ck.Factors...) }
+
+// maxCkptOrder bounds the tensor order a checkpoint may declare; anything
+// larger is a corrupt or hostile header, not a real model.
+const maxCkptOrder = 16
+
+// ReadCheckpoint parses the solver checkpoint image at path. Unlike the
+// solver's own resume path, which only ever reads files it wrote, this entry
+// point is exposed to untrusted paths (the serving plane's admin API loads
+// whatever file an operator names), so every rejection is descriptive — the
+// file, what was found, what was expected — and the declared matrix sizes
+// are validated against the actual byte count before anything is allocated.
+func ReadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("core: reading checkpoint: %w", err)
+		return nil, err
 	}
 	r := bytes.NewReader(data)
 	var magic, version, order, rank uint32
@@ -161,35 +204,66 @@ func readCheckpoint(dir string) (*checkpointState, error) {
 	var eta float64
 	for _, v := range []any{&magic, &version, &iter, &eta, &order, &rank} {
 		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
-			return nil, fmt.Errorf("core: truncated checkpoint header: %w", err)
+			return nil, fmt.Errorf("core: %s: truncated checkpoint header (%d bytes): %w", path, len(data), io.ErrUnexpectedEOF)
 		}
 	}
 	if magic != ckptMagic {
-		return nil, fmt.Errorf("core: %s is not a checkpoint file", CheckpointPath(dir))
+		return nil, fmt.Errorf("core: %s: bad checkpoint magic 0x%08x, want 0x%08x (%q)", path, magic, ckptMagic, "DTCK")
 	}
 	if version != ckptVersion {
-		return nil, fmt.Errorf("core: checkpoint format version %d, want %d", version, ckptVersion)
+		return nil, fmt.Errorf("core: %s: checkpoint format version %d, want %d", path, version, ckptVersion)
 	}
-	if order == 0 || order > 16 || rank == 0 {
-		return nil, fmt.Errorf("core: corrupt checkpoint: order=%d rank=%d", order, rank)
+	if order == 0 || order > maxCkptOrder || rank == 0 {
+		return nil, fmt.Errorf("core: %s: corrupt checkpoint header: order=%d rank=%d", path, order, rank)
 	}
 	dims := make([]uint32, order)
 	if err := binary.Read(r, binary.LittleEndian, dims); err != nil {
-		return nil, fmt.Errorf("core: truncated checkpoint dims: %w", err)
+		return nil, fmt.Errorf("core: %s: truncated checkpoint: %d mode sizes declared, file ends inside them: %w", path, order, io.ErrUnexpectedEOF)
 	}
-	ck := &checkpointState{iter: int(iter), eta: eta}
-	for _, group := range []*[]*mat.Dense{&ck.factors, &ck.aux, &ck.mult} {
+	// Validate the declared geometry against the bytes actually present
+	// before allocating: a corrupt rank or mode size must fail with an exact
+	// got/want count, not an allocation of whatever the header claims.
+	var want uint64
+	for _, d := range dims {
+		want += uint64(d) * uint64(rank)
+	}
+	want *= 3 * 8 // factors+aux+duals groups, 8 bytes per float64
+	if got := uint64(r.Len()); got != want {
+		return nil, fmt.Errorf("core: %s: checkpoint holds %d bytes of matrix data, want %d for dims=%v rank=%d (truncated or corrupt)",
+			path, got, want, dims, rank)
+	}
+	ck := &Checkpoint{Path: path, Iter: int(iter), Eta: eta}
+	for _, group := range []*[]*mat.Dense{&ck.Factors, &ck.Aux, &ck.Duals} {
 		ms := make([]*mat.Dense, order)
 		for n := range ms {
 			vals := make([]float64, int(dims[n])*int(rank))
 			if err := binary.Read(r, binary.LittleEndian, vals); err != nil {
-				return nil, fmt.Errorf("core: truncated checkpoint matrices: %w", err)
+				return nil, fmt.Errorf("core: %s: truncated checkpoint matrices: %w", path, err)
 			}
 			ms[n] = mat.NewDenseData(int(dims[n]), int(rank), vals)
 		}
 		*group = ms
 	}
 	return ck, nil
+}
+
+// readCheckpoint parses dir's checkpoint file into the solver's internal
+// resume state.
+func readCheckpoint(dir string) (*checkpointState, error) {
+	ck, err := ReadCheckpoint(CheckpointPath(dir))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w in %s", ErrNoCheckpoint, dir)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &checkpointState{
+		iter:    ck.Iter,
+		eta:     ck.Eta,
+		factors: ck.Factors,
+		aux:     ck.Aux,
+		mult:    ck.Duals,
+	}, nil
 }
 
 // loadCheckpoint reads and validates a checkpoint against the tensor and

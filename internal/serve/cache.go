@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// rowKey addresses one factor row: (mode, row index).
+type rowKey struct {
+	mode int16
+	row  int32
+}
+
+// rowEntry is one cached row; rows are exact copies of the factor's row at
+// insert time and are never mutated after, so a hit returns the same bits a
+// direct factor read would.
+type rowEntry struct {
+	key rowKey
+	row []float64
+}
+
+// rowCache is a per-model LRU of hot factor rows. A capacity of 0 disables
+// it: Get reports a miss without touching any state, and the caller reads
+// the factor directly.
+//
+// The mutex guards only map/list manipulation — no I/O, no channel ops —
+// so predict-path lookups from many connections contend briefly and never
+// block on anything slower than memory.
+type rowCache struct {
+	hits   atomic.Int64
+	misses atomic.Int64
+
+	mu      sync.Mutex
+	cap     int
+	entries map[rowKey]*list.Element
+	lru     *list.List // front = most recently used
+}
+
+// newRowCache returns a cache holding at most capRows rows; capRows <= 0
+// disables caching.
+func newRowCache(capRows int) *rowCache {
+	c := &rowCache{cap: capRows}
+	if capRows > 0 {
+		c.entries = make(map[rowKey]*list.Element, capRows)
+		c.lru = list.New()
+	}
+	return c
+}
+
+// Get returns the cached row for (mode, row), or nil on a miss. The
+// returned slice is shared and read-only.
+func (c *rowCache) Get(mode int16, row int32) []float64 {
+	if c.cap <= 0 {
+		return nil
+	}
+	key := rowKey{mode: mode, row: row}
+	c.mu.Lock()
+	el, ok := c.entries[key]
+	if ok {
+		c.lru.MoveToFront(el)
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil
+	}
+	c.hits.Add(1)
+	return el.Value.(*rowEntry).row
+}
+
+// Put stores a copy of row under (mode, rowIdx), evicting the least
+// recently used entry if the cache is full. The input slice is copied, so
+// callers may hand over factor-row views safely.
+func (c *rowCache) Put(mode int16, rowIdx int32, row []float64) {
+	if c.cap <= 0 {
+		return
+	}
+	cp := append(make([]float64, 0, len(row)), row...)
+	key := rowKey{mode: mode, row: rowIdx}
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		// Raced with another miss on the same row; keep the resident copy.
+		c.lru.MoveToFront(el)
+		c.mu.Unlock()
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&rowEntry{key: key, row: cp})
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.entries, back.Value.(*rowEntry).key)
+	}
+	c.mu.Unlock()
+}
+
+// Len returns the current number of cached rows.
+func (c *rowCache) Len() int {
+	if c.cap <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	n := c.lru.Len()
+	c.mu.Unlock()
+	return n
+}
+
+// Cap returns the configured capacity (0 = disabled).
+func (c *rowCache) Cap() int { return c.cap }

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRowCacheDisabled(t *testing.T) {
+	c := newRowCache(0)
+	if got := c.Get(0, 1); got != nil {
+		t.Fatalf("disabled cache returned %v", got)
+	}
+	c.Put(0, 1, []float64{1, 2})
+	if got := c.Get(0, 1); got != nil {
+		t.Fatalf("disabled cache stored a row: %v", got)
+	}
+	if c.Len() != 0 || c.Cap() != 0 {
+		t.Fatalf("disabled cache reports len=%d cap=%d", c.Len(), c.Cap())
+	}
+	if h, m := c.hits.Load(), c.misses.Load(); h != 0 || m != 0 {
+		t.Fatalf("disabled cache counted hits=%d misses=%d", h, m)
+	}
+}
+
+func TestRowCacheRoundTripExactBits(t *testing.T) {
+	c := newRowCache(4)
+	// Values chosen to be bit-sensitive: subnormal, negative zero, huge.
+	row := []float64{5e-324, math.Copysign(0, -1), 1e308, 1.0 / 3.0}
+	c.Put(1, 7, row)
+	row[0] = 99 // the cache must have copied, not aliased
+	got := c.Get(1, 7)
+	if got == nil {
+		t.Fatal("row not cached")
+	}
+	want := []float64{5e-324, math.Copysign(0, -1), 1e308, 1.0 / 3.0}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("entry %d = %v (bits %x), want %v (bits %x)",
+				i, got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]))
+		}
+	}
+}
+
+func TestRowCacheLRUEviction(t *testing.T) {
+	c := newRowCache(2)
+	c.Put(0, 1, []float64{1})
+	c.Put(0, 2, []float64{2})
+	if c.Get(0, 1) == nil { // touch 1: now 2 is least recent
+		t.Fatal("row 1 missing")
+	}
+	c.Put(0, 3, []float64{3}) // evicts 2
+	if c.Get(0, 2) != nil {
+		t.Fatal("least-recently-used row 2 survived eviction")
+	}
+	if c.Get(0, 1) == nil || c.Get(0, 3) == nil {
+		t.Fatal("recently used rows evicted")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+}
+
+func TestRowCacheCounters(t *testing.T) {
+	c := newRowCache(2)
+	c.Get(0, 1)               // miss
+	c.Put(0, 1, []float64{1}) // insert
+	c.Get(0, 1)               // hit
+	c.Get(3, 1)               // miss (different mode)
+	if h, m := c.hits.Load(), c.misses.Load(); h != 1 || m != 2 {
+		t.Fatalf("hits=%d misses=%d, want 1 and 2", h, m)
+	}
+}

@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// MaxCellLine bounds one line of a cell-query file. The previous reader
+// used bufio.Scanner's 64KB default, which silently rejected wide batch
+// lines; 8MB covers any realistic multi-index row while still bounding a
+// hostile stream.
+const MaxCellLine = 8 << 20
+
+// ForEachCell reads multi-indices — one cell per line, order whitespace-
+// separated non-negative integers, blank lines and #-comments skipped —
+// and calls fn for each with its 1-based line number. The idx slice is
+// reused between calls; fn must copy it to retain it. Every error names
+// the offending line.
+func ForEachCell(r io.Reader, order int, fn func(line int, idx []int32) error) error {
+	if order <= 0 {
+		return fmt.Errorf("serve: cell reader needs a positive order, got %d", order)
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), MaxCellLine)
+	idx := make([]int32, order)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != order {
+			return fmt.Errorf("serve: cells line %d: want %d indices, got %d", line, order, len(fields))
+		}
+		for i, f := range fields {
+			v, err := strconv.ParseInt(f, 10, 32)
+			if err != nil || v < 0 {
+				return fmt.Errorf("serve: cells line %d: bad index %q for mode %d", line, f, i)
+			}
+			idx[i] = int32(v)
+		}
+		if err := fn(line, idx); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return fmt.Errorf("serve: cells line %d: line exceeds %d bytes", line+1, MaxCellLine)
+		}
+		return fmt.Errorf("serve: cells line %d: %w", line+1, err)
+	}
+	return nil
+}
+
+// ReadCells collects every cell of the stream into one flat row-major
+// index block (count = len(result)/order).
+func ReadCells(r io.Reader, order int) ([]int32, error) {
+	var flat []int32
+	err := ForEachCell(r, order, func(_ int, idx []int32) error {
+		flat = append(flat, idx...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return flat, nil
+}

@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestForEachCellParsesAndSkips(t *testing.T) {
+	in := "# header comment\n\n 1 2 3 \n0 0 0\n# mid comment\n4 5 6\n"
+	var got [][]int32
+	var lines []int
+	err := ForEachCell(strings.NewReader(in), 3, func(line int, idx []int32) error {
+		got = append(got, append([]int32(nil), idx...))
+		lines = append(lines, line)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int32{{1, 2, 3}, {0, 0, 0}, {4, 5, 6}}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d cells, want %d", len(got), len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("cell %d = %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+	if lines[0] != 3 || lines[1] != 4 || lines[2] != 6 {
+		t.Fatalf("line numbers = %v, want [3 4 6]", lines)
+	}
+}
+
+func TestForEachCellErrorsNameTheLine(t *testing.T) {
+	for _, tc := range []struct {
+		name, in, want string
+	}{
+		{"wrong arity", "1 2 3\n1 2\n", "line 2: want 3 indices, got 2"},
+		{"negative index", "1 2 3\n1 -2 3\n", "line 2: bad index \"-2\" for mode 1"},
+		{"not a number", "x 2 3\n", "line 1: bad index \"x\" for mode 0"},
+		{"index overflows int32", fmt.Sprintf("1 2 %d\n", int64(1)<<40), "line 1: bad index"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ForEachCell(strings.NewReader(tc.in), 3, func(int, []int32) error { return nil })
+			if err == nil {
+				t.Fatal("bad input accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error missing %q:\n%v", tc.want, err)
+			}
+		})
+	}
+}
+
+// TestForEachCellWideLine is the regression for the old 64KB
+// bufio.Scanner default: a line wider than 64KB (heavy whitespace padding
+// around a valid cell) must parse.
+func TestForEachCellWideLine(t *testing.T) {
+	pad := strings.Repeat(" ", 100<<10)
+	in := "7 8 9" + pad + "\n1 2 3\n"
+	var count int
+	err := ForEachCell(strings.NewReader(in), 3, func(line int, idx []int32) error {
+		count++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("parsed %d cells, want 2", count)
+	}
+}
+
+func TestForEachCellRejectsAbsurdLine(t *testing.T) {
+	in := strings.NewReader("1 2 3\n" + strings.Repeat("9", MaxCellLine+2) + "\n")
+	err := ForEachCell(in, 3, func(int, []int32) error { return nil })
+	if err == nil {
+		t.Fatal("over-long line accepted")
+	}
+	if !strings.Contains(err.Error(), "line 2") || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("error should name line 2 and the limit:\n%v", err)
+	}
+}
+
+func TestReadCellsFlattens(t *testing.T) {
+	flat, err := ReadCells(strings.NewReader("1 2\n3 4\n"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{1, 2, 3, 4}
+	if len(flat) != len(want) {
+		t.Fatalf("flat = %v, want %v", flat, want)
+	}
+	for i := range want {
+		if flat[i] != want[i] {
+			t.Fatalf("flat = %v, want %v", flat, want)
+		}
+	}
+}

@@ -1,0 +1,15 @@
+package serve
+
+import (
+	"os"
+	"testing"
+
+	"distenc/internal/leakcheck"
+)
+
+// TestMain holds the serving plane to the drain contract: Server.Shutdown
+// (and every test's client teardown) must leave zero goroutines behind —
+// no lingering connection handlers, refresh loops, or admin servers.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

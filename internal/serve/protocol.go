@@ -1,0 +1,254 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+
+	"distenc/internal/metrics"
+	"distenc/internal/rdd"
+	"distenc/internal/transport"
+)
+
+// The serve wire protocol mirrors the worker protocol's shape — one
+// length-prefixed frame per message (rdd.WriteFrame/ReadFrame), a framed
+// hello in each direction at connection setup, pipelined FIFO
+// request/response — with its own magic so a predict client that dials a
+// worker port (or vice versa) fails at the hello instead of misparsing
+// frames.
+//
+// Frame layouts (integers little-endian):
+//
+//	hello     "DTS" magic | version u8
+//	request   reqID u64 | op u8 | body…
+//	response  reqID u64 | status u8 | payload…
+//
+// Request bodies:
+//
+//	opPredict  nameLen u16 | name | order u16 | count u32 | count·order × idx u32
+//	opStats    (empty)
+//	opPing     (empty)
+//
+// Response payloads: opPredict → count × f64 bits (the predictions, in cell
+// order); opStats → the metrics.ServeSnapshot as JSON; errors → the error
+// text.
+var serveHello = []byte{'D', 'T', 'S', 1}
+
+// Request opcodes.
+const (
+	opPredict = 1
+	opStats   = 2
+	opPing    = 3
+)
+
+// Response status codes.
+const (
+	stOK         = 0
+	stNotFound   = 1 // unknown model; payload is the error text
+	stBadRequest = 2 // malformed body or bad geometry; payload is the error text
+	stError      = 3 // server-side failure; payload is the error text
+)
+
+// reqHeaderLen is reqID(8) + op(1).
+const reqHeaderLen = 9
+
+// respHeaderLen is reqID(8) + status(1).
+const respHeaderLen = 9
+
+// appendPredictRequest appends one framed-payload-less predict request.
+func appendPredictRequest(buf []byte, reqID uint64, name string, order int, flat []int32) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, reqID)
+	buf = append(buf, opPredict)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(name)))
+	buf = append(buf, name...)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(order))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(flat)/order))
+	for _, v := range flat {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+	}
+	return buf
+}
+
+// parsePredictBody decodes an opPredict body into (model, order, flat
+// indices).
+func parsePredictBody(body []byte) (string, int, []int32, error) {
+	if len(body) < 2 {
+		return "", 0, nil, fmt.Errorf("predict body of %d bytes, want >= 2", len(body))
+	}
+	nameLen := int(binary.LittleEndian.Uint16(body))
+	body = body[2:]
+	if len(body) < nameLen+6 {
+		return "", 0, nil, fmt.Errorf("predict body truncated inside name/geometry (have %d bytes, name is %d)", len(body), nameLen)
+	}
+	name := string(body[:nameLen])
+	body = body[nameLen:]
+	order := int(binary.LittleEndian.Uint16(body))
+	count := int(binary.LittleEndian.Uint32(body[2:]))
+	body = body[6:]
+	if order <= 0 {
+		return "", 0, nil, fmt.Errorf("predict body declares order %d", order)
+	}
+	want := count * order * 4
+	if len(body) != want {
+		return "", 0, nil, fmt.Errorf("predict body carries %d index bytes, want %d for count=%d order=%d", len(body), want, count, order)
+	}
+	flat := make([]int32, count*order)
+	for i := range flat {
+		flat[i] = int32(binary.LittleEndian.Uint32(body[i*4:]))
+	}
+	return name, order, flat, nil
+}
+
+// Client is one connection to a serve endpoint. It performs sequential
+// round trips and is NOT safe for concurrent use — concurrent callers each
+// dial their own Client (connections are cheap; the server handles each on
+// its own goroutine).
+type Client struct {
+	conn     net.Conn
+	br       *bufio.Reader
+	bw       *bufio.Writer
+	nextID   uint64
+	maxFrame int
+	buf      []byte
+}
+
+// Dial connects to a serve endpoint and completes the hello exchange.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		conn:     conn,
+		br:       bufio.NewReaderSize(conn, 64<<10),
+		bw:       bufio.NewWriterSize(conn, 64<<10),
+		maxFrame: rdd.DefaultMaxFrame,
+	}
+	if err := transport.SendHello(c.bw, serveHello); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("serve: hello to %s: %w", addr, err)
+	}
+	if err := transport.ExpectHello(c.br, serveHello); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("serve: %s is not a serve endpoint: %w", addr, err)
+	}
+	return c, nil
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip writes one framed request and reads its response, verifying
+// FIFO reqID echo.
+func (c *Client) roundTrip(reqID uint64, frame []byte) (uint8, []byte, error) {
+	if err := rdd.WriteFrame(c.bw, frame); err != nil {
+		return 0, nil, fmt.Errorf("serve: writing request: %w", err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return 0, nil, fmt.Errorf("serve: flushing request: %w", err)
+	}
+	resp, err := rdd.ReadFrame(c.br, c.maxFrame)
+	if err != nil {
+		return 0, nil, fmt.Errorf("serve: reading response: %w", err)
+	}
+	if len(resp) < respHeaderLen {
+		return 0, nil, fmt.Errorf("serve: response frame of %d bytes, want >= %d", len(resp), respHeaderLen)
+	}
+	gotID := binary.LittleEndian.Uint64(resp)
+	if gotID != reqID {
+		return 0, nil, fmt.Errorf("serve: response for request %d, want %d (FIFO violated)", gotID, reqID)
+	}
+	return resp[8], resp[respHeaderLen:], nil
+}
+
+// statusErr converts a non-OK response into an error carrying the server's
+// text.
+func statusErr(status uint8, payload []byte) error {
+	switch status {
+	case stNotFound:
+		return fmt.Errorf("serve: not found: %s", payload)
+	case stBadRequest:
+		return fmt.Errorf("serve: bad request: %s", payload)
+	default:
+		return fmt.Errorf("serve: server error (status %d): %s", status, payload)
+	}
+}
+
+// Predict evaluates a batch of cells — flat row-major indices, order per
+// cell — against the named model and returns one prediction per cell.
+func (c *Client) Predict(model string, order int, flat []int32) ([]float64, error) {
+	if order <= 0 || len(flat)%order != 0 {
+		return nil, fmt.Errorf("serve: %d indices do not tile order %d", len(flat), order)
+	}
+	c.nextID++
+	c.buf = appendPredictRequest(c.buf[:0], c.nextID, model, order, flat)
+	status, payload, err := c.roundTrip(c.nextID, c.buf)
+	if err != nil {
+		return nil, err
+	}
+	if status != stOK {
+		return nil, statusErr(status, payload)
+	}
+	count := len(flat) / order
+	if len(payload) != count*8 {
+		return nil, fmt.Errorf("serve: predict response carries %d bytes, want %d for %d cells", len(payload), count*8, count)
+	}
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[i*8:]))
+	}
+	return out, nil
+}
+
+// PredictCells is Predict over a slice of per-cell indices.
+func (c *Client) PredictCells(model string, cells [][]int32) ([]float64, error) {
+	if len(cells) == 0 {
+		return nil, nil
+	}
+	order := len(cells[0])
+	flat := make([]int32, 0, len(cells)*order)
+	for i, cell := range cells {
+		if len(cell) != order {
+			return nil, fmt.Errorf("serve: cell %d has %d indices, want %d", i, len(cell), order)
+		}
+		flat = append(flat, cell...)
+	}
+	return c.Predict(model, order, flat)
+}
+
+// Stats fetches the server's registry-wide rollup.
+func (c *Client) Stats() (metrics.ServeSnapshot, error) {
+	c.nextID++
+	c.buf = binary.LittleEndian.AppendUint64(c.buf[:0], c.nextID)
+	c.buf = append(c.buf, opStats)
+	status, payload, err := c.roundTrip(c.nextID, c.buf)
+	if err != nil {
+		return nil, err
+	}
+	if status != stOK {
+		return nil, statusErr(status, payload)
+	}
+	var snap metrics.ServeSnapshot
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return nil, fmt.Errorf("serve: decoding stats: %w", err)
+	}
+	return snap, nil
+}
+
+// Ping round-trips a liveness probe.
+func (c *Client) Ping() error {
+	c.nextID++
+	c.buf = binary.LittleEndian.AppendUint64(c.buf[:0], c.nextID)
+	c.buf = append(c.buf, opPing)
+	status, payload, err := c.roundTrip(c.nextID, c.buf)
+	if err != nil {
+		return err
+	}
+	if status != stOK {
+		return statusErr(status, payload)
+	}
+	return nil
+}

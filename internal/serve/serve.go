@@ -1,0 +1,15 @@
+// Package serve is the completion-as-a-service plane: it loads finished
+// solver checkpoints (the solver.ckpt images core writes) into a model
+// registry and answers single and batch entry-reconstruction queries
+// x̂(i_1,…,i_N) = Σ_r Π_n A(n)[i_n,r] (Eq. 3) over a length-prefixed binary
+// protocol that reuses the transport framing, plus an HTTP/JSON admin plane
+// for loading, swapping, and dropping models at runtime.
+//
+// The serving model is deliberately simple: a model is an immutable set of
+// factor matrices. Updates never mutate a served model — the admin API and
+// the online-refresh loop build a replacement and swap the registry pointer
+// atomically, so every in-flight batch is answered wholly by one model
+// generation, never a torn mix. Per-model LRU caches of hot factor rows
+// keep popular objects' rows close; cached rows are exact copies, so cached
+// and uncached predictions are bit-identical to sptensor.Kruskal.At.
+package serve

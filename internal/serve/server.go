@@ -1,0 +1,266 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"distenc/internal/rdd"
+	"distenc/internal/transport"
+)
+
+// Config sizes one serve daemon.
+type Config struct {
+	// Listen is the predict-plane TCP address (e.g. "127.0.0.1:0").
+	Listen string
+	// Admin is the HTTP admin-plane address; empty disables the admin
+	// server.
+	Admin string
+	// CacheRows is each model's hot-row LRU capacity (0 disables caching).
+	CacheRows int
+	// MaxFrame bounds request frames (default rdd.DefaultMaxFrame).
+	MaxFrame int
+	// Refresh configures the online-refresh loop; a zero Every disables it.
+	Refresh RefreshConfig
+}
+
+// Server answers entry-reconstruction queries from a model registry over
+// the binary predict plane and manages the registry over the HTTP admin
+// plane. Connection handling mirrors transport.Server: one goroutine per
+// accepted connection, FIFO pipelining, flush-when-idle, and a graceful
+// Shutdown that lets in-flight requests finish before unblocking idle
+// reads via a deadline.
+type Server struct {
+	cfg      Config
+	reg      *Registry
+	ln       net.Listener
+	admin    *http.Server
+	adminLn  net.Listener
+	maxFrame int
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg        sync.WaitGroup
+	refresher *refresher
+}
+
+// NewServer builds a server over reg and binds its listeners (predict
+// plane always; admin plane when cfg.Admin is set). Call Serve to start.
+func NewServer(reg *Registry, cfg Config) (*Server, error) {
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = rdd.DefaultMaxFrame
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("serve: listen %s: %w", cfg.Listen, err)
+	}
+	s := &Server{
+		cfg:      cfg,
+		reg:      reg,
+		ln:       ln,
+		maxFrame: cfg.MaxFrame,
+		conns:    map[net.Conn]struct{}{},
+	}
+	if cfg.Admin != "" {
+		adminLn, err := net.Listen("tcp", cfg.Admin)
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("serve: admin listen %s: %w", cfg.Admin, err)
+		}
+		s.adminLn = adminLn
+		s.admin = &http.Server{Handler: s.adminMux()}
+	}
+	if cfg.Refresh.Every > 0 {
+		s.refresher = newRefresher(reg, cfg.Refresh, cfg.CacheRows)
+	}
+	return s, nil
+}
+
+// Registry returns the registry the server answers from.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Addr returns the predict plane's bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// AdminAddr returns the admin plane's bound address ("" when disabled).
+func (s *Server) AdminAddr() string {
+	if s.adminLn == nil {
+		return ""
+	}
+	return s.adminLn.Addr().String()
+}
+
+// Serve runs the predict-plane accept loop (and starts the admin plane and
+// refresh loop, which Shutdown stops). It returns nil after a graceful
+// shutdown.
+func (s *Server) Serve() error {
+	if s.admin != nil {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			// http.Server.Serve returns ErrServerClosed after Shutdown.
+			s.admin.Serve(s.adminLn)
+		}()
+	}
+	if s.refresher != nil {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.refresher.run()
+		}()
+	}
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("serve: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(conn)
+	}
+}
+
+// Shutdown drains the server: stop the refresh loop, stop accepting on
+// both planes, let every in-flight request finish, then return. Safe to
+// call more than once.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	s.ln.Close()
+	for conn := range s.conns {
+		// Unblocks only a read waiting for the NEXT request; a request mid-
+		// handling completes and its response flushes first.
+		conn.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	if s.refresher != nil {
+		s.refresher.stop()
+	}
+	if s.admin != nil {
+		// Close rather than Shutdown: admin requests are short and the
+		// predict plane — the one with SLOs — already drained gracefully
+		// above. Close also tears down keep-alive connections, which
+		// Shutdown would wait on indefinitely.
+		s.admin.Close()
+	}
+	s.wg.Wait()
+	if s.refresher != nil {
+		s.refresher.cleanup()
+	}
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	conn.Close()
+	s.wg.Done()
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.dropConn(conn)
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+
+	if err := transport.ExpectHello(br, serveHello); err != nil {
+		return
+	}
+	if err := transport.SendHello(bw, serveHello); err != nil {
+		return
+	}
+
+	var respBuf []byte
+	var predBuf []float64
+	for {
+		frame, err := rdd.ReadFrame(br, s.maxFrame)
+		if err != nil {
+			return // EOF, torn frame, or the shutdown read deadline
+		}
+		if len(frame) < reqHeaderLen {
+			return
+		}
+		reqID := binary.LittleEndian.Uint64(frame)
+		op := frame[8]
+		respBuf, predBuf = s.handle(reqID, op, frame[reqHeaderLen:], respBuf[:0], predBuf[:0])
+		if err := rdd.WriteFrame(bw, respBuf); err != nil {
+			return
+		}
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// handle executes one request, appending the response to buf. predBuf is
+// the reusable prediction scratch.
+func (s *Server) handle(reqID uint64, op uint8, body, buf []byte, predBuf []float64) ([]byte, []float64) {
+	switch op {
+	case opPing:
+		return appendResponse(buf, reqID, stOK, nil), predBuf
+	case opStats:
+		snap, err := json.Marshal(s.reg.Snapshot())
+		if err != nil {
+			return appendResponse(buf, reqID, stError, []byte(err.Error())), predBuf
+		}
+		return appendResponse(buf, reqID, stOK, snap), predBuf
+	case opPredict:
+		name, order, flat, err := parsePredictBody(body)
+		if err != nil {
+			return appendResponse(buf, reqID, stBadRequest, []byte(err.Error())), predBuf
+		}
+		// Capture the model generation once; the whole batch — validation
+		// and every prediction — is answered by it, so a concurrent swap
+		// never mixes generations within a response.
+		m, ok := s.reg.Get(name)
+		if !ok {
+			return appendResponse(buf, reqID, stNotFound, fmt.Appendf(nil, "no model %q loaded", name)), predBuf
+		}
+		predBuf, err = m.PredictBatch(order, flat, predBuf)
+		if err != nil {
+			return appendResponse(buf, reqID, stBadRequest, []byte(err.Error())), predBuf
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, reqID)
+		buf = append(buf, stOK)
+		for _, v := range predBuf {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+		return buf, predBuf
+	default:
+		return appendResponse(buf, reqID, stBadRequest, fmt.Appendf(nil, "unknown op %d", op)), predBuf
+	}
+}
+
+// appendResponse appends a response header and payload.
+func appendResponse(buf []byte, reqID uint64, status uint8, payload []byte) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, reqID)
+	buf = append(buf, status)
+	return append(buf, payload...)
+}

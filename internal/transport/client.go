@@ -2,7 +2,6 @@ package transport
 
 import (
 	"bufio"
-	"bytes"
 	"errors"
 	"fmt"
 	"net"
@@ -201,16 +200,13 @@ func dialWorker(addr string, opts Options) (*pipeConn, error) {
 		maxFrame: opts.MaxFrame,
 	}
 	nc.SetDeadline(time.Now().Add(opts.DialTimeout))
-	if err := rdd.WriteFrame(c.bw, helloFrame); err == nil {
-		err = c.bw.Flush()
-	} else {
+	if err := SendHello(c.bw, helloFrame); err != nil {
 		nc.Close()
 		return nil, unreachableErr(addr, err)
 	}
-	hello, err := rdd.ReadFrame(c.br, 16)
-	if err != nil || !bytes.Equal(hello, helloFrame) {
+	if err := ExpectHello(c.br, helloFrame); err != nil {
 		nc.Close()
-		return nil, unreachableErr(addr, fmt.Errorf("bad hello: %v", err))
+		return nil, unreachableErr(addr, err)
 	}
 	nc.SetDeadline(time.Time{})
 	//distenc:goroutine-owned-by conn-close -- readLoop exits when the connection dies or closes (ReadFrame errors), and fail/closeConns always close the conn

@@ -2,7 +2,6 @@ package transport
 
 import (
 	"bufio"
-	"bytes"
 	"fmt"
 	"net"
 	"os"
@@ -134,11 +133,10 @@ func (s *Server) handleConn(conn net.Conn) {
 	bw := bufio.NewWriterSize(conn, 64<<10)
 
 	// Hello exchange: reject strangers before trusting length prefixes.
-	hello, err := rdd.ReadFrame(br, 16)
-	if err != nil || !bytes.Equal(hello, helloFrame) {
+	if ExpectHello(br, helloFrame) != nil {
 		return
 	}
-	if err := rdd.WriteFrame(bw, helloFrame); err != nil || bw.Flush() != nil {
+	if SendHello(bw, helloFrame) != nil {
 		return
 	}
 
